@@ -1,0 +1,28 @@
+"""Figure 5 — Relevance (to goal) rating of exploration notebooks per dataset.
+
+Runs the simulated user study and reports the mean relevance rating (1-7) of
+every system for each dataset.  Shape to reproduce: Human Expert ≳ LINX ≫
+ChatGPT ≳ ATENA / Google Sheets.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+from study_workload import study_outcome
+
+
+def test_fig5_relevance(benchmark):
+    outcome = benchmark.pedantic(study_outcome, iterations=1, rounds=1)
+    relevance = outcome.relevance_by_dataset()
+    rows = [
+        {"system": system, **{ds: round(score, 2) for ds, score in per_dataset.items()}}
+        for system, per_dataset in relevance.items()
+    ]
+    print_table("Figure 5: Relevance Rating per Dataset", rows)
+
+    overall = {system: outcome.mean(system, "relevance") for system in relevance}
+    print("Overall relevance:", {k: round(v, 2) for k, v in overall.items()})
+    assert overall["LINX"] > overall["ATENA"]
+    assert overall["LINX"] > overall["Google Sheets"]
+    assert overall["LINX"] > overall["ChatGPT"]
+    assert overall["Human Expert"] >= overall["LINX"] - 0.5

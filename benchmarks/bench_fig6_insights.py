@@ -1,0 +1,20 @@
+"""Figure 6 — Average number of goal-relevant insights per system.
+
+Shape to reproduce: Human Expert (≈3.2) ≳ LINX (≈2.7) ≫ ATENA (≈0.8) ≳
+Google Sheets (≈0.4) ≳ ChatGPT (≈0.3).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+from study_workload import study_outcome
+
+
+def test_fig6_goal_relevant_insights(benchmark):
+    outcome = benchmark.pedantic(study_outcome, iterations=1, rounds=1)
+    insights = outcome.insights_per_system()
+    rows = [{"system": system, "relevant_insights": round(count, 2)} for system, count in insights.items()]
+    print_table("Figure 6: Avg. Number of Goal-Relevant Insights", rows)
+    assert insights["LINX"] > insights["ATENA"]
+    assert insights["LINX"] > insights["ChatGPT"]
+    assert insights["Human Expert"] >= insights["ChatGPT"]

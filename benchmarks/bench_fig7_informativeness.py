@@ -1,0 +1,28 @@
+"""Figure 7 — Informativeness & comprehensibility ratings (averaged over datasets).
+
+Shape to reproduce: LINX stays close to the human expert on both axes and does
+not pay an informativeness/comprehensibility price for being goal-oriented;
+ChatGPT is comprehensible but less informative.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+from study_workload import study_outcome
+
+
+def test_fig7_informativeness_comprehensibility(benchmark):
+    outcome = benchmark.pedantic(study_outcome, iterations=1, rounds=1)
+    table = outcome.informativeness_and_comprehensibility()
+    rows = [
+        {
+            "system": system,
+            "informativeness": round(scores["informativeness"], 2),
+            "comprehensibility": round(scores["comprehensibility"], 2),
+        }
+        for system, scores in table.items()
+    ]
+    print_table("Figure 7: Informativeness & Comprehensibility", rows)
+    assert table["LINX"]["informativeness"] > table["Google Sheets"]["informativeness"]
+    assert table["LINX"]["informativeness"] >= table["ChatGPT"]["informativeness"] - 0.3
+    assert table["LINX"]["comprehensibility"] > 3.0

@@ -1,0 +1,67 @@
+"""Figure 8 — Convergence comparison of LINX-CDRL and ATENA.
+
+Trains the LINX agent on one comparison query per dataset alongside the
+goal-agnostic ATENA agent and reports the normalised reward curves (fraction
+of the best smoothed reward reached after 25%, 50%, 75% and 100% of
+training).  Shape to reproduce: despite the richer reward and network, LINX
+converges at a pace comparable to ATENA.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, scale
+
+from repro.baselines import AtenaAgent, AtenaConfig
+from repro.bench import generate_benchmark
+from repro.cdrl import CdrlConfig, LinxCdrlAgent
+from repro.datasets import load_dataset
+from repro.study import default_study_tasks
+
+
+def _curve_points(history, points=(0.25, 0.5, 0.75, 1.0)):
+    curve = history.normalised_curve(window=10)
+    if not curve:
+        return {f"{int(p * 100)}%": 0.0 for p in points}
+    return {
+        f"{int(p * 100)}%": round(curve[min(len(curve) - 1, int(p * len(curve)) - 1)], 2)
+        for p in points
+    }
+
+
+def _run_convergence():
+    corpus = generate_benchmark()
+    tasks = default_study_tasks(corpus, per_dataset=1)
+    episodes = scale(80, 800)
+    rows = []
+    for task in tasks:
+        dataset = load_dataset(task.dataset, num_rows=scale(300, 2000))
+        linx = LinxCdrlAgent(dataset, task.ldx_text, config=CdrlConfig(episodes=episodes))
+        linx_result = linx.run()
+        atena = AtenaAgent(dataset, config=AtenaConfig(episodes=episodes))
+        atena_result = atena.run()
+        rows.append(
+            {
+                "dataset": task.dataset,
+                "system": f"LINX g{task.meta_goal_id}",
+                **_curve_points(linx_result.history),
+                "compliant": linx_result.fully_compliant,
+            }
+        )
+        rows.append(
+            {
+                "dataset": task.dataset,
+                "system": "ATENA",
+                **_curve_points(atena_result.history),
+                "compliant": "n/a",
+            }
+        )
+    return rows
+
+
+def test_fig8_convergence(benchmark):
+    rows = benchmark.pedantic(_run_convergence, iterations=1, rounds=1)
+    print_table("Figure 8: Convergence Comparison to ATENA", rows)
+    linx_rows = [row for row in rows if row["system"].startswith("LINX")]
+    # Every LINX run must end near its best observed reward and be compliant.
+    assert all(row["100%"] >= 0.5 for row in linx_rows)
+    assert all(row["compliant"] for row in linx_rows)

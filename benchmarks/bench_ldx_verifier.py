@@ -1,0 +1,61 @@
+"""Section 7.4 / Appendix A.2 — LDX verification overhead.
+
+The paper argues that computing the LDX-compliance reward adds negligible
+overhead to session generation.  This benchmark measures the verification
+engine on a compliant session (the hot path executed once per episode) and
+the look-ahead completion check (executed once per step), and reports the
+number of tree completions versus the Catalan bound.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.bench import generate_benchmark
+from repro.datasets import load_dataset
+from repro.baselines import HumanExpertBaseline
+from repro.ldx import (
+    can_still_comply,
+    catalan_number,
+    count_completions,
+    parse_ldx,
+    verify,
+)
+
+
+def _setup():
+    corpus = generate_benchmark()
+    instance = corpus.instances[0]
+    dataset = load_dataset(instance.dataset, num_rows=300)
+    query = parse_ldx(instance.ldx_text)
+    session = HumanExpertBaseline().generate(dataset, query)
+    return session.to_tree(), query
+
+
+def test_ldx_verification_speed(benchmark):
+    tree, query = _setup()
+    result = benchmark(verify, tree, query)
+    assert result is True
+
+
+def test_ldx_lookahead_speed_and_completion_bound(benchmark):
+    tree, query = _setup()
+    partial = tree.copy()
+    # Simulate an ongoing session: keep only the first branch.
+    while len(partial.children) > 1:
+        partial.children.pop()
+    feasible = benchmark(can_still_comply, partial, query, 3, 256)
+    assert feasible
+
+    rows = []
+    for remaining in range(0, 4):
+        completions = count_completions(partial, remaining)
+        rows.append(
+            {
+                "remaining_steps": remaining,
+                "completions": completions,
+                "catalan_bound": catalan_number(remaining + partial.size()),
+            }
+        )
+    print_table("LDX look-ahead completions vs Catalan bound", rows)
+    assert all(row["completions"] <= row["catalan_bound"] for row in rows)

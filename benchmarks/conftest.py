@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 7).  Workload sizes are laptop-scale by default; set the
+``REPRO_FULL=1`` environment variable for larger runs (more episodes, more
+benchmark instances) that get closer to the paper's training budgets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    """True when the REPRO_FULL environment variable requests a full-scale run."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def scale(small: int, full: int) -> int:
+    """Pick the workload size depending on the REPRO_FULL switch."""
+    return full if full_scale() else small
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The 182-instance goal-oriented ADE benchmark (generated once per session)."""
+    from repro.bench import generate_benchmark
+
+    return generate_benchmark()
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Print a result table in a uniform, grep-friendly format."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0])
+    print(" | ".join(str(c) for c in columns))
+    for row in rows:
+        print(" | ".join(str(row[c]) for c in columns))

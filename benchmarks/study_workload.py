@@ -1,0 +1,28 @@
+"""Shared workload for the user-study benchmarks (Figures 5-7, Tables 3-4).
+
+Builds the 12 study tasks (four goals per dataset, one per meta-goal) and
+runs the simulated user study once per session so the three figure
+benchmarks report consistent numbers without re-training the agents.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from conftest import scale
+
+from repro.bench import generate_benchmark
+from repro.study import UserStudy, default_study_tasks
+
+
+@lru_cache(maxsize=1)
+def study_outcome():
+    """Run the study workload once and cache the outcome for all figure benches."""
+    corpus = generate_benchmark()
+    tasks = default_study_tasks(corpus, per_dataset=scale(2, 4))
+    study = UserStudy(
+        linx_episodes=scale(60, 400),
+        atena_episodes=scale(40, 300),
+        dataset_rows=scale(300, 2000),
+    )
+    return study.run(tasks)

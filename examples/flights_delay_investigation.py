@@ -1,0 +1,55 @@
+"""Goal-oriented exploration of the Flights dataset with hand-written LDX.
+
+Demonstrates the "power user" path of LINX (and of the ATENA-PRO demo): the
+analyst writes the LDX specification directly instead of describing the goal
+in natural language, and the CDRL engine fills in the free parameters.
+
+The specification below encodes meta-goal 5 ("describe an unusual subset"):
+compare weather-delayed flights against all other flights with the same
+group-and-aggregate view on both sides.
+
+Run with::
+
+    python examples/flights_delay_investigation.py
+"""
+
+from repro.cdrl import CdrlConfig, LinxCdrlAgent
+from repro.datasets import load_dataset
+from repro.notebook import extract_insights, render_notebook
+
+WEATHER_DELAY_LDX = """
+ROOT CHILDREN <A1,A2>
+A1 LIKE [F,delay_reason,eq,weather] and CHILDREN {B1}
+B1 LIKE [G,(?<Y>.*),mean,(?<Z>.*)]
+A2 LIKE [F,delay_reason,neq,weather] and CHILDREN {B2}
+B2 LIKE [G,(?<Y>.*),mean,(?<Z>.*)]
+"""
+
+
+def main() -> None:
+    dataset = load_dataset("flights", num_rows=1200)
+    print("Specification (hand-written LDX):")
+    print(WEATHER_DELAY_LDX)
+
+    agent = LinxCdrlAgent(dataset, WEATHER_DELAY_LDX, config=CdrlConfig(episodes=150))
+    result = agent.run()
+
+    print(f"Fully compliant: {result.fully_compliant}")
+    print(f"Exploration utility score: {result.utility_score:.3f}")
+    print(f"Training episodes: {result.episodes_trained}")
+    print()
+    print(result.session.describe())
+    print()
+
+    notebook = render_notebook(
+        result.session, goal="Highlight distinctive characteristics of weather-delayed flights"
+    )
+    print(notebook.to_markdown())
+
+    print("\nInsights:")
+    for insight in extract_insights(result.session)[:5]:
+        print(f"  - {insight.text}")
+
+
+if __name__ == "__main__":
+    main()

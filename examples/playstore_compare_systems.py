@@ -1,0 +1,62 @@
+"""Compare LINX against the baselines on a Play Store analysis goal.
+
+Reproduces, for a single goal, what the user study of Section 7.3 does at
+scale: generate a notebook with LINX, ATENA, the ChatGPT-direct baseline and
+the Sheets-Explorer-like baseline, then score each notebook's relevance with
+the simulated rater panel and count goal-relevant insights.
+
+Run with::
+
+    python examples/playstore_compare_systems.py
+"""
+
+from repro.baselines import (
+    AtenaAgent,
+    AtenaConfig,
+    ChatGptDirectBaseline,
+    SheetsExplorerBaseline,
+    specification_from_ldx,
+)
+from repro.cdrl import CdrlConfig, LinxCdrlAgent
+from repro.datasets import load_dataset
+from repro.ldx import parse_ldx
+from repro.study import SimulatedRaterPanel
+
+GOAL = "Highlight interesting sub-groups of apps with at least 1M installs"
+GOLD_LDX = """
+ROOT CHILDREN <A1>
+A1 LIKE [F,installs,ge,1000000] and CHILDREN {B1,+}
+B1 LIKE [G,.*]
+"""
+
+
+def main() -> None:
+    dataset = load_dataset("playstore", num_rows=1000)
+    query = parse_ldx(GOLD_LDX)
+    panel = SimulatedRaterPanel()
+
+    sessions = {}
+    sessions["LINX"] = LinxCdrlAgent(
+        dataset, GOLD_LDX, config=CdrlConfig(episodes=120)
+    ).run().session
+    sessions["ATENA"] = AtenaAgent(dataset, config=AtenaConfig(episodes=80)).run().session
+    sessions["ChatGPT"] = ChatGptDirectBaseline().generate(dataset, GOAL)
+    sessions["Google Sheets"] = SheetsExplorerBaseline().generate(
+        dataset, specification_from_ldx(query, dataset)
+    )
+
+    print(f"Goal: {GOAL}\n")
+    print(f"{'system':<15} {'relevance':>9} {'informativeness':>16} {'insights':>9}")
+    for system, session in sessions.items():
+        rating = panel.rate(system, session, GOAL, query, "playstore")
+        print(
+            f"{system:<15} {rating.relevance:>9.2f} {rating.informativeness:>16.2f} "
+            f"{rating.relevant_insights:>9.2f}"
+        )
+
+    print("\nLINX session:")
+    print(sessions["LINX"].describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Quickstart: run LINX end-to-end on the Netflix dataset.
+
+This is the workflow of Example 1.2 in the paper: Clarice uploads the
+Netflix dataset, describes her analytical goal in natural language, and LINX
+returns a goal-oriented exploration notebook.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Linx
+from repro.cdrl import CdrlConfig
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("netflix", num_rows=800)
+    goal = "Find a country with different viewing habits than the rest of the world"
+
+    linx = Linx(cdrl_config=CdrlConfig(episodes=120))
+    print(f"Analytical goal: {goal}\n")
+
+    # Step 1: derive LDX specifications from the goal (Section 6).
+    ldx_text = linx.derive_specifications("netflix", goal)
+    print("Derived LDX specifications:")
+    print(ldx_text)
+    print()
+
+    # Step 2: generate a compliant, high-utility session (Section 5) and render it.
+    output = linx.explore(dataset, goal, ldx_text=ldx_text)
+    print(f"Session compliant with specifications: {output.fully_compliant}")
+    print()
+    print(output.markdown())
+    print()
+    print("Extracted insights:")
+    for insight in output.insights[:5]:
+        print(f"  - {insight.text}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Setuptools entry point (kept for environments without PEP 517 build isolation)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of LINX: a language-driven generative system for "
+        "goal-oriented automated data exploration (EDBT 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

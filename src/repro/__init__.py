@@ -1,0 +1,28 @@
+"""Reproduction of LINX: a language-driven generative system for goal-oriented
+automated data exploration (EDBT 2025).
+
+The package is organised as one sub-package per system (see DESIGN.md):
+
+* :mod:`repro.dataframe` — columnar data engine (pandas substitute),
+* :mod:`repro.tregex` — tree pattern matching substrate,
+* :mod:`repro.ldx` — the LDX specification language and verification engine,
+* :mod:`repro.explore` — the exploration model and ADE environment,
+* :mod:`repro.rl` — the policy-gradient learning library,
+* :mod:`repro.cdrl` — the constrained DRL engine (LINX's core contribution),
+* :mod:`repro.llm` / :mod:`repro.nl2ldx` — specification derivation from NL,
+* :mod:`repro.bench`, :mod:`repro.datasets`, :mod:`repro.metrics`,
+  :mod:`repro.baselines`, :mod:`repro.notebook`, :mod:`repro.study` —
+  benchmark, data, metrics, baselines and evaluation harnesses.
+
+Quickstart::
+
+    from repro import Linx
+    output = Linx().explore("netflix", "Find an atypical country")
+    print(output.markdown())
+"""
+
+from .linx import Linx, LinxOutput
+
+__version__ = "1.0.0"
+
+__all__ = ["Linx", "LinxOutput", "__version__"]

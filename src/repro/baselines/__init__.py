@@ -1,0 +1,21 @@
+"""Baselines compared against LINX: ATENA, ChatGPT-direct, Sheets Explorer, human expert."""
+
+from .atena import AtenaAgent, AtenaConfig, AtenaResult
+from .chatgpt_direct import ChatGptDirectBaseline
+from .human_expert import HumanExpertBaseline
+from .sheets_explorer import (
+    SheetsExplorerBaseline,
+    SheetsSpecification,
+    specification_from_ldx,
+)
+
+__all__ = [
+    "AtenaAgent",
+    "AtenaConfig",
+    "AtenaResult",
+    "ChatGptDirectBaseline",
+    "HumanExpertBaseline",
+    "SheetsExplorerBaseline",
+    "SheetsSpecification",
+    "specification_from_ldx",
+]

@@ -1,0 +1,68 @@
+"""ChatGPT-direct baseline: ask the (simulated) LLM for a whole notebook.
+
+In the user study (Section 7.3) one baseline asks GPT-3.5 to produce an
+entire exploration notebook directly from the goal.  The paper observes that
+such notebooks consist mostly of descriptive statistics and simple
+aggregations whose relevance to the specific goal is limited.  The offline
+simulation mirrors that behaviour: the baseline emits a fixed recipe of
+overview operations (value counts of the first categorical columns, means of
+the numeric columns) plus at most one goal-derived filter when an attribute
+is explicitly mentioned in the goal text.
+"""
+
+from __future__ import annotations
+
+from repro.dataframe.table import DataTable
+from repro.explore.operations import BackOperation, FilterOperation, GroupAggOperation
+from repro.explore.session import ExplorationSession, session_from_operations
+
+
+class ChatGptDirectBaseline:
+    """Generates a descriptive-statistics style notebook from the goal text."""
+
+    name = "ChatGPT"
+
+    def __init__(self, max_operations: int = 6):
+        self.max_operations = max_operations
+
+    def generate(self, dataset: DataTable, goal: str) -> ExplorationSession:
+        """Build the descriptive session for *dataset* and *goal*."""
+        operations: list[object] = []
+        goal_lower = goal.lower()
+        categorical = dataset.categorical_columns()
+        numeric = dataset.numeric_columns()
+
+        # One goal-derived filter when the goal names a column and a quoted value.
+        mentioned = [column for column in dataset.columns if column.lower() in goal_lower]
+        if mentioned:
+            column = mentioned[0]
+            values = dataset.column(column).value_counts()
+            mentioned_value = next(
+                (value for value in values if str(value).lower() in goal_lower), None
+            )
+            if mentioned_value is not None:
+                operations.append(FilterOperation(column, "eq", mentioned_value))
+                operations.append(BackOperation(1))
+
+        # Descriptive statistics: value counts over categorical columns.
+        for column in categorical[:3]:
+            operations.append(GroupAggOperation(column, "count", column))
+            operations.append(BackOperation(1))
+        # Means of numeric columns grouped by the first categorical column.
+        if categorical and numeric:
+            operations.append(GroupAggOperation(categorical[0], "mean", numeric[0]))
+            operations.append(BackOperation(1))
+
+        query_ops = [op for op in operations if not isinstance(op, BackOperation)]
+        if len(query_ops) > self.max_operations:
+            # Trim while keeping the interleaved back operations consistent.
+            trimmed: list[object] = []
+            count = 0
+            for operation in operations:
+                if not isinstance(operation, BackOperation):
+                    count += 1
+                    if count > self.max_operations:
+                        break
+                trimmed.append(operation)
+            operations = trimmed
+        return session_from_operations(dataset, operations)

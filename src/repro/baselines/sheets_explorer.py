@@ -1,0 +1,92 @@
+"""Google-Sheets-Explorer-like baseline.
+
+The commercial tool accepts only limited specifications: the user may select
+columns of interest and a data subset, and the tool then produces automatic
+univariate summaries over that selection (Section 7.3).  The simulation
+accepts the same limited specification (columns + one optional subset
+predicate derived from the goal's LDX) and emits one aggregation per selected
+column — it cannot express comparisons or multi-step narratives, which is
+what limits its relevance scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dataframe.table import DataTable
+from repro.explore.operations import BackOperation, FilterOperation, GroupAggOperation
+from repro.explore.session import ExplorationSession, session_from_operations
+from repro.ldx.ast import LdxQuery
+from repro.ldx.patterns import FIELD_LITERAL
+
+
+@dataclass(frozen=True)
+class SheetsSpecification:
+    """The limited specification the tool supports: columns and one subset."""
+
+    columns: tuple[str, ...] = ()
+    subset: Optional[tuple[str, str, str]] = None  # (attr, op, term)
+
+
+def specification_from_ldx(query: LdxQuery, dataset: DataTable) -> SheetsSpecification:
+    """Derive the closest expressible specification from a gold LDX query.
+
+    Mirrors the paper's protocol of composing the tool's settings w.r.t. the
+    LDX query: columns mentioned in the specifications are selected, and the
+    first fully-literal filter becomes the subset.
+    """
+    columns: list[str] = []
+    subset: Optional[tuple[str, str, str]] = None
+    for spec in query.operational_specs():
+        pattern = spec.operation
+        fields = list(pattern.fields)
+        if fields and fields[0].kind == FIELD_LITERAL and fields[0].value in dataset.columns:
+            if fields[0].value not in columns:
+                columns.append(fields[0].value)
+            if (
+                pattern.kind == "F"
+                and subset is None
+                and len(fields) >= 3
+                and fields[1].kind == FIELD_LITERAL
+                and fields[2].kind == FIELD_LITERAL
+            ):
+                subset = (fields[0].value, fields[1].value, fields[2].value)
+    return SheetsSpecification(columns=tuple(columns), subset=subset)
+
+
+class SheetsExplorerBaseline:
+    """Univariate auto-exploration over a limited user specification."""
+
+    name = "Google Sheets"
+
+    def __init__(self, max_operations: int = 5):
+        self.max_operations = max_operations
+
+    def generate(
+        self, dataset: DataTable, specification: SheetsSpecification
+    ) -> ExplorationSession:
+        operations: list[object] = []
+        if specification.subset is not None:
+            attr, op, term = specification.subset
+            if attr in dataset.columns:
+                operations.append(FilterOperation(attr, op, term))
+        columns = [c for c in specification.columns if c in dataset.columns]
+        if not columns:
+            columns = dataset.categorical_columns()[:2]
+        produced = 0
+        for column in columns:
+            if produced >= self.max_operations:
+                break
+            col = dataset.column(column)
+            if col.is_numeric:
+                group_attr = next(
+                    (c for c in dataset.categorical_columns() if c != column),
+                    dataset.columns[0],
+                )
+                operations.append(GroupAggOperation(group_attr, "mean", column))
+            else:
+                operations.append(GroupAggOperation(column, "count", column))
+            operations.append(BackOperation(1))
+            produced += 1
+        return session_from_operations(dataset, operations)

@@ -1,0 +1,27 @@
+"""Goal-oriented ADE benchmark: meta-goals, templates and the 182-instance generator."""
+
+from .generator import (
+    SLOT_POOLS,
+    Benchmark,
+    BenchmarkInstance,
+    SlotPool,
+    exemplar_instances,
+    generate_benchmark,
+)
+from .metagoals import META_GOALS, MetaGoal, meta_goal_by_id, total_target_instances
+from .paraphrase import paraphrase, paraphrases
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkInstance",
+    "META_GOALS",
+    "MetaGoal",
+    "SLOT_POOLS",
+    "SlotPool",
+    "exemplar_instances",
+    "generate_benchmark",
+    "meta_goal_by_id",
+    "paraphrase",
+    "paraphrases",
+    "total_target_instances",
+]

@@ -1,0 +1,262 @@
+"""Benchmark dataset generator for goal-oriented ADE (Section 7.1, Figure 4).
+
+The generator follows the paper's scheme: start from the eight meta-goal
+templates, populate the goal and LDX templates with dataset-specific values
+(attributes, operators, predicates, aggregations), then paraphrase the
+populated goal description.  The result is a corpus of goal / gold-LDX pairs
+over the Netflix, Flights and Play Store datasets — 182 instances with the
+per-meta-goal counts of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.ldx.ast import LdxQuery
+from repro.ldx.parser import parse_ldx
+
+from .metagoals import META_GOALS, MetaGoal
+from .paraphrase import paraphrase
+
+#: Text rendering of filter operators used inside goal descriptions.
+_OP_TEXT = {
+    "eq": "equal to",
+    "neq": "different from",
+    "gt": "greater than",
+    "ge": "at least",
+    "lt": "less than",
+    "le": "at most",
+    "contains": "containing",
+}
+
+#: Complement operator used by the "unusual subset" meta-goal.
+_COMPLEMENT = {"eq": "neq", "neq": "eq", "ge": "lt", "gt": "le", "le": "gt", "lt": "ge"}
+
+
+@dataclass(frozen=True)
+class SlotPool:
+    """Dataset-specific values available for template population."""
+
+    dataset: str
+    domain: str
+    entity_attrs: tuple[str, ...]
+    aspects: tuple[str, ...]
+    subset_filters: tuple[tuple[str, str, str], ...]  # (attr, op, term)
+    survey_attrs: tuple[str, ...]
+    investigate_attrs: tuple[str, ...]
+    contrast_attrs: tuple[str, ...]
+    agg_funcs: tuple[str, ...] = ("count", "mean")
+
+
+SLOT_POOLS: dict[str, SlotPool] = {
+    "netflix": SlotPool(
+        dataset="netflix",
+        domain="titles",
+        entity_attrs=("country", "rating", "director"),
+        aspects=("viewing habits", "title characteristics", "catalogue composition"),
+        subset_filters=(
+            ("type", "eq", "TV Show"),
+            ("country", "eq", "India"),
+            ("rating", "eq", "TV-MA"),
+            ("release_year", "ge", "2015"),
+            ("duration", "ge", "120"),
+            ("listed_in", "eq", "Dramas"),
+        ),
+        survey_attrs=("rating", "duration", "release_year", "type"),
+        investigate_attrs=("rating", "country", "listed_in", "type"),
+        contrast_attrs=("country", "rating", "listed_in"),
+    ),
+    "flights": SlotPool(
+        dataset="flights",
+        domain="flights",
+        entity_attrs=("airline", "origin_airport"),
+        aspects=("delay behaviour", "traffic patterns", "cancellation behaviour"),
+        subset_filters=(
+            ("delay_reason", "eq", "weather"),
+            ("month", "ge", "6"),
+            ("distance", "ge", "2000"),
+            ("origin_airport", "neq", "BOS"),
+            ("departure_delay", "ge", "60"),
+            ("cancelled", "eq", "1"),
+        ),
+        survey_attrs=("departure_delay", "arrival_delay", "distance", "month"),
+        investigate_attrs=("delay_reason", "airline", "month", "origin_airport"),
+        contrast_attrs=("airline", "origin_airport", "delay_reason"),
+    ),
+    "playstore": SlotPool(
+        dataset="playstore",
+        domain="apps",
+        entity_attrs=("category", "content_rating"),
+        aspects=("pricing", "popularity", "quality"),
+        subset_filters=(
+            ("installs", "ge", "1000000"),
+            ("price", "gt", "0"),
+            ("rating", "ge", "4.5"),
+            ("category", "eq", "GAME"),
+            ("content_rating", "eq", "Teen"),
+            ("size_mb", "ge", "100"),
+        ),
+        survey_attrs=("price", "rating", "installs", "reviews"),
+        investigate_attrs=("category", "content_rating", "android_version", "installs"),
+        contrast_attrs=("category", "content_rating", "android_version"),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class BenchmarkInstance:
+    """One (analytical goal, gold LDX) pair of the benchmark."""
+
+    instance_id: int
+    meta_goal_id: int
+    meta_goal_name: str
+    dataset: str
+    goal: str
+    ldx_text: str
+
+    def ldx_query(self) -> LdxQuery:
+        """Parse the gold LDX text (always valid by construction)."""
+        return parse_ldx(self.ldx_text)
+
+
+@dataclass
+class Benchmark:
+    """The full goal-oriented ADE benchmark."""
+
+    instances: list[BenchmarkInstance] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def by_meta_goal(self, meta_goal_id: int) -> list[BenchmarkInstance]:
+        return [inst for inst in self.instances if inst.meta_goal_id == meta_goal_id]
+
+    def by_dataset(self, dataset: str) -> list[BenchmarkInstance]:
+        return [inst for inst in self.instances if inst.dataset == dataset]
+
+    def counts_per_meta_goal(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for instance in self.instances:
+            counts[instance.meta_goal_id] = counts.get(instance.meta_goal_id, 0) + 1
+        return counts
+
+    def overview_rows(self) -> list[dict[str, object]]:
+        """Rows of Table 1: meta-goal, example goal and instance count."""
+        counts = self.counts_per_meta_goal()
+        rows = []
+        for meta in META_GOALS:
+            example = next(
+                (inst.goal for inst in self.instances if inst.meta_goal_id == meta.identifier),
+                meta.example_goal,
+            )
+            rows.append(
+                {
+                    "meta_goal": meta.identifier,
+                    "name": meta.name,
+                    "example": example,
+                    "instances": counts.get(meta.identifier, 0),
+                }
+            )
+        return rows
+
+
+def _slot_combinations(meta: MetaGoal, pool: SlotPool) -> Iterable[dict[str, str]]:
+    """All slot assignments for one meta-goal and one dataset, in a stable order."""
+    if meta.identifier == 1:
+        for entity_attr in pool.entity_attrs:
+            for aspect in pool.aspects:
+                for agg in pool.agg_funcs:
+                    yield {"entity_attr": entity_attr, "aspect": aspect, "agg": agg}
+    elif meta.identifier in (2, 8):
+        for attr, op, term in pool.subset_filters:
+            yield {"attr": attr, "op": op, "op_text": _OP_TEXT[op], "term": term}
+    elif meta.identifier == 3:
+        for attr in pool.contrast_attrs:
+            yield {"attr": attr}
+    elif meta.identifier == 4:
+        for attr in pool.survey_attrs:
+            for agg in pool.agg_funcs:
+                yield {"attr": attr, "agg": agg}
+    elif meta.identifier == 5:
+        for attr, op, term in pool.subset_filters:
+            for agg in pool.agg_funcs:
+                yield {
+                    "attr": attr,
+                    "op": op,
+                    "op_text": _OP_TEXT[op],
+                    "complement_op": _COMPLEMENT[op],
+                    "term": term,
+                    "agg": agg,
+                }
+    elif meta.identifier == 6:
+        for attr in pool.investigate_attrs:
+            yield {"attr": attr}
+    elif meta.identifier == 7:
+        for attr, op, term in pool.subset_filters:
+            yield {
+                "domain": pool.domain,
+                "attr": attr,
+                "op": op,
+                "op_text": _OP_TEXT[op],
+                "term": term,
+            }
+    else:  # pragma: no cover - all meta-goals handled above
+        raise ValueError(f"unsupported meta-goal {meta.identifier}")
+
+
+def _populate(meta: MetaGoal, slots: dict[str, str]) -> tuple[str, str]:
+    """Fill the goal and LDX templates of *meta* with *slots*."""
+    goal = meta.goal_template.format(**slots)
+    ldx = meta.ldx_template.format(**slots).strip()
+    return goal, ldx
+
+
+def generate_benchmark(paraphrase_goals: bool = True) -> Benchmark:
+    """Build the full benchmark (182 instances, Table 1 distribution)."""
+    benchmark = Benchmark()
+    instance_id = 0
+    datasets = list(SLOT_POOLS)
+    for meta in META_GOALS:
+        produced = 0
+        # Round-robin over datasets and their slot combinations until the
+        # meta-goal's target count is reached.
+        per_dataset = {name: list(_slot_combinations(meta, SLOT_POOLS[name])) for name in datasets}
+        cursor = {name: 0 for name in datasets}
+        variant = 0
+        while produced < meta.target_instances:
+            for dataset in datasets:
+                if produced >= meta.target_instances:
+                    break
+                combos = per_dataset[dataset]
+                if not combos:
+                    continue
+                slots = combos[cursor[dataset] % len(combos)]
+                cursor[dataset] += 1
+                goal, ldx = _populate(meta, slots)
+                if paraphrase_goals:
+                    goal = paraphrase(goal, variant)
+                instance_id += 1
+                benchmark.instances.append(
+                    BenchmarkInstance(
+                        instance_id=instance_id,
+                        meta_goal_id=meta.identifier,
+                        meta_goal_name=meta.name,
+                        dataset=dataset,
+                        goal=goal,
+                        ldx_text=ldx,
+                    )
+                )
+                produced += 1
+            variant += 1
+    return benchmark
+
+
+def exemplar_instances(benchmark: Benchmark) -> list[BenchmarkInstance]:
+    """One exemplar instance per meta-goal (the g1-g8 of Table 1)."""
+    exemplars = []
+    for meta in META_GOALS:
+        instances = benchmark.by_meta_goal(meta.identifier)
+        preferred = [inst for inst in instances if inst.dataset == meta.example_dataset]
+        exemplars.append((preferred or instances)[0])
+    return exemplars

@@ -1,0 +1,166 @@
+"""The eight exploration meta-goals of the goal-oriented ADE benchmark (Table 1).
+
+Each meta-goal couples a natural-language goal template with an LDX template.
+Templates contain ``{placeholder}`` slots (domain, attribute, operator, term,
+aggregation) that the benchmark generator populates per dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MetaGoal:
+    """One exploration meta-goal with its goal and LDX templates."""
+
+    identifier: int
+    name: str
+    example_goal: str
+    example_dataset: str
+    goal_template: str
+    ldx_template: str
+    #: Placeholders the generator must fill for this meta-goal.
+    placeholders: tuple[str, ...] = field(default_factory=tuple)
+    #: Target number of benchmark instances (Table 1's "# Ex." column).
+    target_instances: int = 20
+
+
+META_GOALS: tuple[MetaGoal, ...] = (
+    MetaGoal(
+        identifier=1,
+        name="Identify an uncommon entity",
+        example_goal="Find an atypical country",
+        example_dataset="netflix",
+        goal_template="Find a {entity_attr} with different {aspect} than the rest of the data",
+        ldx_template="""
+ROOT CHILDREN <A1,A2>
+A1 LIKE [F,{entity_attr},eq,(?<X>.*)] and CHILDREN {{B1}}
+B1 LIKE [G,(?<Y>.*),{agg},.*]
+A2 LIKE [F,{entity_attr},neq,(?<X>.*)] and CHILDREN {{B2}}
+B2 LIKE [G,(?<Y>.*),{agg},.*]
+""",
+        placeholders=("entity_attr", "aspect", "agg"),
+        target_instances=18,
+    ),
+    MetaGoal(
+        identifier=2,
+        name="Examine a phenomenon (subset)",
+        example_goal="Examine characteristics of successful TV shows",
+        example_dataset="netflix",
+        goal_template="Examine the characteristics of records with {attr} {op_text} {term}",
+        ldx_template="""
+ROOT CHILDREN <A1>
+A1 LIKE [F,{attr},{op},{term}] and CHILDREN {{B1,B2}}
+B1 LIKE [G,.*]
+B2 LIKE [G,.*]
+""",
+        placeholders=("attr", "op", "op_text", "term"),
+        target_instances=16,
+    ),
+    MetaGoal(
+        identifier=3,
+        name="Discover contrasting subsets",
+        example_goal="Find three actors with contrasting traits",
+        example_dataset="netflix",
+        goal_template="Find three values of {attr} with contrasting traits",
+        ldx_template="""
+ROOT CHILDREN <A1,A2,A3>
+A1 LIKE [F,{attr},eq,.*] and CHILDREN {{B1}}
+B1 LIKE [G,(?<Y>.*),.*]
+A2 LIKE [F,{attr},eq,.*] and CHILDREN {{B2}}
+B2 LIKE [G,(?<Y>.*),.*]
+A3 LIKE [F,{attr},eq,.*] and CHILDREN {{B3}}
+B3 LIKE [G,(?<Y>.*),.*]
+""",
+        placeholders=("attr",),
+        target_instances=22,
+    ),
+    MetaGoal(
+        identifier=4,
+        name="Survey an attribute",
+        example_goal="Survey apps' price",
+        example_dataset="playstore",
+        goal_template="Survey the {attr} attribute of the data",
+        ldx_template="""
+ROOT CHILDREN <A1,A2>
+A1 LIKE [G,{attr},count,.*]
+A2 LIKE [G,.*,{agg},{attr}]
+""",
+        placeholders=("attr", "agg"),
+        target_instances=21,
+    ),
+    MetaGoal(
+        identifier=5,
+        name="Describe an unusual subset",
+        example_goal="Highlight distinctive characteristics of summer-month flights",
+        example_dataset="flights",
+        goal_template="Highlight distinctive characteristics of records where {attr} {op_text} {term}, compared to the rest",
+        ldx_template="""
+ROOT CHILDREN <A1,A2>
+A1 LIKE [F,{attr},{op},{term}] and CHILDREN {{B1}}
+B1 LIKE [G,(?<Y>.*),{agg},.*]
+A2 LIKE [F,{attr},{complement_op},{term}] and CHILDREN {{B2}}
+B2 LIKE [G,(?<Y>.*),{agg},.*]
+""",
+        placeholders=("attr", "op", "op_text", "complement_op", "term", "agg"),
+        target_instances=27,
+    ),
+    MetaGoal(
+        identifier=6,
+        name="Investigate various aspects of an attribute",
+        example_goal="Investigate reasons for delay",
+        example_dataset="flights",
+        goal_template="Investigate different aspects of {attr}",
+        ldx_template="""
+ROOT CHILDREN <A1,A2>
+A1 LIKE [G,{attr},count,.*]
+A2 LIKE [F,{attr},.*,.*] and CHILDREN {{B1}}
+B1 LIKE [G,.*]
+""",
+        placeholders=("attr",),
+        target_instances=22,
+    ),
+    MetaGoal(
+        identifier=7,
+        name="Explore through a subset",
+        example_goal="Analyze the dataset, with a focus on flights affected by weather-related delays",
+        example_dataset="flights",
+        goal_template="Explore the data, make sure to address interesting aspects of {domain} with {attr} {op_text} {term}",
+        ldx_template="""
+BEGIN DESCENDANTS <A1>
+A1 LIKE [F,{attr},{op},{term}] and CHILDREN {{B1,B2}}
+B1 LIKE [G,.*]
+B2 LIKE [G,.*]
+""",
+        placeholders=("domain", "attr", "op", "op_text", "term"),
+        target_instances=28,
+    ),
+    MetaGoal(
+        identifier=8,
+        name="Highlight interesting sub-groups",
+        example_goal="Highlight interesting sub-groups of apps with at least 1M installs",
+        example_dataset="playstore",
+        goal_template="Highlight interesting sub-groups of records with {attr} {op_text} {term}",
+        ldx_template="""
+ROOT CHILDREN <A1>
+A1 LIKE [F,{attr},{op},{term}] and CHILDREN {{B1,+}}
+B1 LIKE [G,.*]
+""",
+        placeholders=("attr", "op", "op_text", "term"),
+        target_instances=28,
+    ),
+)
+
+
+def meta_goal_by_id(identifier: int) -> MetaGoal:
+    """Look up a meta-goal by its Table 1 identifier (1-8)."""
+    for meta in META_GOALS:
+        if meta.identifier == identifier:
+            return meta
+    raise KeyError(f"unknown meta-goal id {identifier}")
+
+
+def total_target_instances() -> int:
+    """Total number of benchmark instances across meta-goals (182 in the paper)."""
+    return sum(meta.target_instances for meta in META_GOALS)

@@ -1,0 +1,72 @@
+"""Deterministic goal paraphrasing.
+
+The paper populates goal templates and then paraphrases them with ChatGPT to
+obtain natural-sounding analytical tasks (Figure 4).  Offline we simulate the
+paraphraser with a deterministic rule-based rewriter: seeded selection among
+several sentence frames, verb/synonym substitutions, and light re-ordering.
+The output is varied enough to exercise the NL→LDX component's robustness to
+surface form, which is what the paraphrasing step is for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_FRAMES = (
+    "{goal}.",
+    "{goal}, please.",
+    "I would like to {goal_lower}.",
+    "Your task: {goal_lower}.",
+    "Can you {goal_lower}?",
+    "We need to {goal_lower} for an upcoming report.",
+    "As part of the analysis, {goal_lower}.",
+)
+
+_SYNONYMS = (
+    ("Find", "Identify"),
+    ("Find", "Discover"),
+    ("Examine", "Analyze"),
+    ("Examine", "Look into"),
+    ("Survey", "Review"),
+    ("Investigate", "Dig into"),
+    ("Highlight", "Surface"),
+    ("Explore", "Investigate"),
+    ("characteristics", "properties"),
+    ("interesting", "notable"),
+    ("different", "atypical"),
+    ("records", "entries"),
+)
+
+
+def _stable_hash(text: str) -> int:
+    return int(hashlib.sha256(text.encode("utf-8")).hexdigest()[:8], 16)
+
+
+def paraphrase(goal: str, variant: int = 0) -> str:
+    """Return a deterministic paraphrase of *goal*.
+
+    The same ``(goal, variant)`` pair always produces the same output, which
+    keeps the benchmark reproducible.
+    """
+    seed = _stable_hash(goal) + variant
+    text = goal.strip().rstrip(".")
+    # Apply up to two synonym substitutions selected by the seed.
+    for offset in range(2):
+        source, target = _SYNONYMS[(seed + offset * 7) % len(_SYNONYMS)]
+        if source in text:
+            text = text.replace(source, target, 1)
+        elif source.lower() in text:
+            text = text.replace(source.lower(), target.lower(), 1)
+    frame = _FRAMES[seed % len(_FRAMES)]
+    sentence = frame.format(goal=text, goal_lower=text[0].lower() + text[1:])
+    return sentence[0].upper() + sentence[1:]
+
+
+def paraphrases(goal: str, count: int) -> list[str]:
+    """Distinct paraphrases of *goal* (at most *count*, deduplicated)."""
+    seen: dict[str, None] = {}
+    variant = 0
+    while len(seen) < count and variant < count * 4:
+        seen.setdefault(paraphrase(goal, variant), None)
+        variant += 1
+    return list(seen)

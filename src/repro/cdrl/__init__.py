@@ -1,0 +1,47 @@
+"""Constrained deep reinforcement learning engine for modular ADE (LINX Step 2)."""
+
+from .ablation import (
+    VARIANT_NAMES,
+    AblationCase,
+    VariantOutcome,
+    run_ablation,
+    variant_config,
+)
+from .agent import CdrlConfig, CdrlResult, LinxCdrlAgent, generate_session
+from .compliance import (
+    ComplianceRewardConfig,
+    ComplianceRewardStrategy,
+    end_of_session_reward,
+    immediate_reward,
+)
+from .snippets import Snippet, SnippetLibrary, derive_snippets, snippets_from_pattern
+from .spec_network import (
+    SNIPPET_ACTION_INDEX,
+    SNIPPET_HEAD,
+    SpecificationAwarePolicy,
+    build_basic_policy,
+)
+
+__all__ = [
+    "AblationCase",
+    "CdrlConfig",
+    "CdrlResult",
+    "ComplianceRewardConfig",
+    "ComplianceRewardStrategy",
+    "LinxCdrlAgent",
+    "SNIPPET_ACTION_INDEX",
+    "SNIPPET_HEAD",
+    "Snippet",
+    "SnippetLibrary",
+    "SpecificationAwarePolicy",
+    "VARIANT_NAMES",
+    "VariantOutcome",
+    "build_basic_policy",
+    "derive_snippets",
+    "end_of_session_reward",
+    "generate_session",
+    "immediate_reward",
+    "run_ablation",
+    "snippets_from_pattern",
+    "variant_config",
+]

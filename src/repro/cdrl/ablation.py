@@ -1,0 +1,130 @@
+"""Ablation variants of the LINX CDRL engine (Table 4 of the paper).
+
+Four variants are compared:
+
+* **Binary Reward Only** — naive binary end-of-session compliance signal,
+  no immediate reward, basic (non specification-aware) network;
+* **Binary+Imm. Reward** — the graded end-of-session compliance reward of
+  Section 5.2, still without the immediate reward and the
+  specification-aware network;
+* **W/O Spec. Aware NN** — the full reward scheme (graded + immediate) with
+  the basic network;
+* **LINX-CDRL (Full)** — the complete engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.dataframe.table import DataTable
+from repro.ldx.ast import LdxQuery
+from repro.ldx.parser import parse_ldx
+
+from .agent import CdrlConfig, CdrlResult, LinxCdrlAgent
+
+#: Canonical variant names, in the order of Table 4.
+VARIANT_NAMES: tuple[str, ...] = (
+    "Binary Reward Only",
+    "Binary+Imm. Reward",
+    "W/O Spec. Aware NN",
+    "LINX-CDRL (Full)",
+)
+
+
+def variant_config(name: str, base: CdrlConfig | None = None) -> CdrlConfig:
+    """Build the :class:`CdrlConfig` flags for a named ablation variant."""
+    base = base or CdrlConfig()
+    if name == "Binary Reward Only":
+        return replace(
+            base,
+            graded_eos_reward=False,
+            immediate_reward=False,
+            specification_aware_network=False,
+        )
+    if name == "Binary+Imm. Reward":
+        return replace(
+            base,
+            graded_eos_reward=True,
+            immediate_reward=False,
+            specification_aware_network=False,
+        )
+    if name == "W/O Spec. Aware NN":
+        return replace(
+            base,
+            graded_eos_reward=True,
+            immediate_reward=True,
+            specification_aware_network=False,
+        )
+    if name == "LINX-CDRL (Full)":
+        return replace(
+            base,
+            graded_eos_reward=True,
+            immediate_reward=True,
+            specification_aware_network=True,
+        )
+    raise ValueError(f"unknown ablation variant {name!r}; known: {VARIANT_NAMES}")
+
+
+@dataclass
+class AblationCase:
+    """One (dataset, LDX query) pair in the ablation workload."""
+
+    name: str
+    dataset: DataTable
+    query: LdxQuery
+
+    @classmethod
+    def from_text(cls, name: str, dataset: DataTable, ldx_text: str) -> "AblationCase":
+        return cls(name=name, dataset=dataset, query=parse_ldx(ldx_text))
+
+
+@dataclass
+class VariantOutcome:
+    """Aggregate compliance counts for one variant over the whole workload."""
+
+    variant: str
+    structure_compliant: int = 0
+    fully_compliant: int = 0
+    total: int = 0
+    results: list[CdrlResult] = field(default_factory=list)
+
+    def structure_rate(self) -> float:
+        return self.structure_compliant / self.total if self.total else 0.0
+
+    def full_rate(self) -> float:
+        return self.fully_compliant / self.total if self.total else 0.0
+
+    def row(self) -> dict[str, object]:
+        """Table-4-style row."""
+        return {
+            "variant": self.variant,
+            "structure_compliance": f"{self.structure_compliant}/{self.total}"
+            f" ({round(100 * self.structure_rate())}%)",
+            "full_compliance": f"{self.fully_compliant}/{self.total}"
+            f" ({round(100 * self.full_rate())}%)",
+        }
+
+
+def run_ablation(
+    cases: Sequence[AblationCase],
+    variants: Sequence[str] = VARIANT_NAMES,
+    base_config: CdrlConfig | None = None,
+) -> list[VariantOutcome]:
+    """Run every ablation variant on every case and aggregate compliance counts."""
+    outcomes: list[VariantOutcome] = []
+    for variant in variants:
+        outcome = VariantOutcome(variant=variant, total=len(cases))
+        config = variant_config(variant, base_config)
+        for index, case in enumerate(cases):
+            agent = LinxCdrlAgent(
+                case.dataset, case.query, config=replace(config, seed=config.seed + index)
+            )
+            result = agent.run()
+            outcome.results.append(result)
+            if result.structurally_compliant:
+                outcome.structure_compliant += 1
+            if result.fully_compliant:
+                outcome.fully_compliant += 1
+        outcomes.append(outcome)
+    return outcomes

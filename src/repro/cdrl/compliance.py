@@ -1,0 +1,193 @@
+"""LDX-compliance reward scheme (Section 5.2 and Appendix A.3).
+
+Two signals are combined:
+
+* an **end-of-session** conditional reward (Algorithm 2): a high positive
+  reward for fully compliant sessions, a fixed penalty for sessions that
+  violate the structural specifications, and a graded non-negative reward
+  proportional to the number of satisfied operational parameters otherwise;
+* an **immediate** per-operation reward that penalises, in real time,
+  operations after which no completion of the ongoing session can satisfy
+  the structural specifications.
+
+The bi-objective step reward of the CDRL MDP is
+``alpha * R_gen + beta * R_comp`` where ``R_comp`` combines the two signals
+with weights ``gamma`` (end of session) and ``delta`` (immediate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.explore.environment import GenericRewardStrategy
+from repro.explore.operations import Operation, is_query_operation
+from repro.explore.reward import GenericRewardConfig
+from repro.explore.session import ExplorationSession, SessionNode
+from repro.ldx.ast import LdxQuery
+from repro.ldx.partial import can_still_comply
+from repro.ldx.verifier import (
+    operational_match_ratio,
+    partial_structural_ratio,
+    structural_assignments,
+    verify,
+    verify_structure,
+)
+
+
+@dataclass(frozen=True)
+class ComplianceRewardConfig:
+    """Weights and magnitudes of the compliance reward scheme."""
+
+    # Bi-objective mixing (Section 5.1): R = alpha * R_gen + beta * R_comp.
+    alpha: float = 0.3
+    beta: float = 1.0
+    # R_comp internal mixing: gamma * EOS + delta * IMM.
+    gamma: float = 1.0
+    delta: float = 0.5
+    # Algorithm 2 magnitudes.
+    full_compliance_reward: float = 10.0
+    structural_violation_penalty: float = -5.0
+    operational_reward_scale: float = 4.0
+    # Immediate reward.
+    immediate_violation_penalty: float = -2.0
+    immediate_min_step: int = 3
+    immediate_max_completions: int = 256
+    # Binary (ablation) mode magnitudes.
+    binary_positive: float = 10.0
+    binary_negative: float = -5.0
+
+
+def end_of_session_reward(
+    session: ExplorationSession,
+    query: LdxQuery,
+    config: ComplianceRewardConfig,
+    graded: bool = True,
+) -> float:
+    """Algorithm 2: the conditional end-of-session compliance reward.
+
+    With ``graded=False`` the reward degenerates to the naive binary signal
+    used by the ablation baseline (positive iff fully compliant).  In graded
+    mode the structural-violation penalty is softened proportionally to the
+    fraction of the required structure that is already realised, which keeps
+    the "structure first" learning signal dense on small training budgets.
+    """
+    tree = session.to_tree()
+    if verify(tree, query):
+        return config.full_compliance_reward if graded else config.binary_positive
+    if not graded:
+        return config.binary_negative
+    if not structural_assignments(tree, query, first_only=True):
+        progress = partial_structural_ratio(tree, query)
+        return config.structural_violation_penalty * (1.0 - progress)
+    ratio = operational_match_ratio(tree, query)
+    return config.operational_reward_scale * ratio
+
+
+def _tree_shape(session: ExplorationSession) -> tuple:
+    """A hashable key describing only the *shape* of the session tree.
+
+    The structural specifications ignore operation labels, so look-ahead
+    compliance results can be cached per shape across steps and episodes.
+    """
+
+    def shape(node) -> tuple:
+        return tuple(shape(child) for child in node.children)
+
+    return shape(session.root)
+
+
+def immediate_reward(
+    session: ExplorationSession,
+    query: LdxQuery,
+    step_index: int,
+    episode_length: int,
+    config: ComplianceRewardConfig,
+    cache: Optional[dict] = None,
+) -> float:
+    """Immediate per-operation reward: penalise steps that doom structural compliance."""
+    if step_index < config.immediate_min_step:
+        return 0.0
+    remaining = max(0, episode_length - step_index)
+    key = None
+    if cache is not None:
+        key = (_tree_shape(session), remaining)
+        if key in cache:
+            feasible = cache[key]
+            return 0.0 if feasible else config.immediate_violation_penalty
+    tree = session.to_tree()
+    feasible = can_still_comply(
+        tree, query, remaining, max_completions=config.immediate_max_completions
+    )
+    if cache is not None and key is not None:
+        cache[key] = feasible
+    return 0.0 if feasible else config.immediate_violation_penalty
+
+
+class ComplianceRewardStrategy:
+    """The CDRL reward strategy: generic exploration reward + compliance scheme.
+
+    Parameters mirror the ablation study of Section 7.4:
+
+    * ``graded_eos=False`` → the naive *Binary Reward Only* end-of-session
+      signal;
+    * ``use_immediate=False`` → drop the per-operation look-ahead penalty.
+    """
+
+    def __init__(
+        self,
+        query: LdxQuery,
+        episode_length: int,
+        config: ComplianceRewardConfig | None = None,
+        generic_config: GenericRewardConfig | None = None,
+        graded_eos: bool = True,
+        use_immediate: bool = True,
+    ):
+        self.query = query
+        self.episode_length = episode_length
+        self.config = config or ComplianceRewardConfig()
+        self.generic = GenericRewardStrategy(generic_config)
+        self.graded_eos = graded_eos
+        self.use_immediate = use_immediate
+        self._step_index = 0
+        # Shape-keyed cache of look-ahead feasibility; shared across episodes.
+        self._lookahead_cache: dict = {}
+
+    # -- RewardStrategy protocol -----------------------------------------------------------
+    def on_step(
+        self,
+        session: ExplorationSession,
+        node: Optional[SessionNode],
+        operation: Operation,
+        valid: bool,
+    ) -> float:
+        # Detect a fresh episode (the environment resets the session object).
+        if session.steps_taken <= 1:
+            self._step_index = 0
+        self._step_index += 1
+        generic = self.generic.on_step(session, node, operation, valid)
+        compliance = 0.0
+        if self.use_immediate and valid and is_query_operation(operation):
+            compliance = self.config.delta * immediate_reward(
+                session,
+                self.query,
+                self._step_index,
+                self.episode_length,
+                self.config,
+                cache=self._lookahead_cache,
+            )
+        return self.config.alpha * generic + self.config.beta * compliance
+
+    def on_episode_end(self, session: ExplorationSession) -> float:
+        eos = end_of_session_reward(session, self.query, self.config, graded=self.graded_eos)
+        return self.config.beta * self.config.gamma * eos
+
+    # -- reporting helpers -------------------------------------------------------------------
+    def compliance_summary(self, session: ExplorationSession) -> dict[str, object]:
+        """Structure/full compliance flags and the operational match ratio."""
+        tree = session.to_tree()
+        return {
+            "full": verify(tree, self.query),
+            "structural": verify_structure(tree, self.query),
+            "operational_ratio": operational_match_ratio(tree, self.query),
+        }

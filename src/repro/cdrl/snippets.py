@@ -1,0 +1,250 @@
+"""Operation snippets derived from the operational LDX specifications.
+
+The specification-aware network (Section 5.3) adds a high-level *snippet*
+action: instead of composing a query operation parameter by parameter, the
+agent may pick a snippet — a partially instantiated operation derived from
+one operational specification — and only choose its remaining free
+parameters.  For example the specification ``[F, country, eq, (?<X>.*)]``
+yields the snippet ``F, country, eq, <term>`` whose only free head is the
+filter term.
+
+Disjunctive regex fields (``SUM|AVG``) expand into one snippet per option,
+exactly as described in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.explore.action_space import ActionChoice, ActionSpace
+from repro.explore.operations import FilterOperation, GroupAggOperation, Operation
+from repro.ldx.ast import LdxQuery
+from repro.ldx.patterns import FIELD_LITERAL, FIELD_REGEX, FieldPattern, OperationPattern
+
+#: Field roles per operation kind, aligned with the pattern's positional fields.
+FILTER_ROLES = ("attr", "op", "term")
+GROUP_ROLES = ("group_attr", "agg_func", "agg_attr")
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """A partially specified operation: fixed fields plus named free parameters."""
+
+    kind: str  # "F" or "G"
+    fixed: dict[str, str] = field(default_factory=dict)
+    free: tuple[str, ...] = ()
+    source_node: str = ""
+
+    def describe(self) -> str:
+        roles = FILTER_ROLES if self.kind == "F" else GROUP_ROLES
+        parts = [self.kind]
+        for role in roles:
+            parts.append(self.fixed.get(role, "*"))
+        return ",".join(parts)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, tuple(sorted(self.fixed.items())), self.free, self.source_node))
+
+
+def _field_options(field_pattern: FieldPattern) -> list[str] | None:
+    """Concrete options a field pins down (None when the field is free)."""
+    if field_pattern.kind == FIELD_LITERAL:
+        return [field_pattern.value]
+    if field_pattern.kind == FIELD_REGEX and "|" in field_pattern.value:
+        options = [part.strip() for part in field_pattern.value.split("|")]
+        if all(option and not any(ch in option for ch in ".*+?[](){}^$\\") for option in options):
+            return options
+    return None
+
+
+def snippets_from_pattern(pattern: OperationPattern, node_name: str = "") -> list[Snippet]:
+    """Expand one operational specification into snippets (one per disjunct combination)."""
+    if pattern.kind not in ("F", "G"):
+        return []
+    roles = FILTER_ROLES if pattern.kind == "F" else GROUP_ROLES
+    per_field: list[list[Optional[str]]] = []
+    for index in range(len(roles)):
+        field_pattern = (
+            pattern.fields[index] if index < len(pattern.fields) else FieldPattern("any")
+        )
+        options = _field_options(field_pattern)
+        per_field.append(options if options is not None else [None])
+
+    snippets: list[Snippet] = []
+
+    def expand(index: int, fixed: dict[str, str]) -> None:
+        if index == len(roles):
+            free = tuple(role for role in roles if role not in fixed)
+            snippets.append(
+                Snippet(kind=pattern.kind, fixed=dict(fixed), free=free, source_node=node_name)
+            )
+            return
+        for option in per_field[index]:
+            if option is None:
+                expand(index + 1, fixed)
+            else:
+                expand(index + 1, {**fixed, roles[index]: option})
+
+    expand(0, {})
+    return snippets
+
+
+def derive_snippets(query: LdxQuery) -> list[Snippet]:
+    """All snippets of a query: one per operational specification and disjunct.
+
+    Symmetric specifications (e.g. the two identical group-by patterns of a
+    comparison query) intentionally keep their own snippet neurons, exactly as
+    in Figure 2, so the per-state guidance can address each named node.
+    """
+    snippets: list[Snippet] = []
+    for spec in query.operational_specs():
+        snippets.extend(snippets_from_pattern(spec.operation, spec.name))
+    return snippets
+
+
+class SnippetLibrary:
+    """Binds snippets to a concrete :class:`ActionSpace`.
+
+    The library extends the action space's vocabularies so every fixed
+    snippet value is representable (e.g. a literal filter term required by
+    the specifications but absent from the frequency-derived term list), and
+    converts a snippet choice plus sampled free-parameter heads into the
+    equivalent :class:`ActionChoice`.
+    """
+
+    def __init__(self, query: LdxQuery, action_space: ActionSpace):
+        self.query = query
+        self.action_space = action_space
+        self.snippets = derive_snippets(query)
+        self._extend_vocabularies()
+
+    def __len__(self) -> int:
+        return len(self.snippets)
+
+    def _extend_vocabularies(self) -> None:
+        space = self.action_space
+        for snippet in self.snippets:
+            if snippet.kind == "F":
+                attr = snippet.fixed.get("attr")
+                op = snippet.fixed.get("op")
+                term = snippet.fixed.get("term")
+                if op and op not in space.filter_operators:
+                    space.filter_operators.append(op)
+                if attr and attr in space.terms and term is not None:
+                    if space.index_of_term(attr, term) is None:
+                        space.terms[attr].append(term)
+            else:
+                group_attr = snippet.fixed.get("group_attr")
+                agg_func = snippet.fixed.get("agg_func")
+                agg_attr = snippet.fixed.get("agg_attr")
+                if group_attr and group_attr not in space.group_attributes:
+                    if group_attr in space.attributes:
+                        space.group_attributes.append(group_attr)
+                if agg_func and agg_func not in space.agg_functions:
+                    space.agg_functions.append(agg_func)
+                if agg_attr and agg_attr not in space.agg_attributes:
+                    if agg_attr in space.attributes:
+                        space.agg_attributes.append(agg_attr)
+
+    # -- choice construction -----------------------------------------------------------------
+    def to_action_choice(self, snippet_index: int, free_indices: dict[str, int]) -> ActionChoice:
+        """Resolve a snippet selection into a full factored action choice.
+
+        Fixed snippet fields override the corresponding heads; free fields are
+        filled from the sampled head indices in *free_indices* (keys follow the
+        base head names, e.g. ``filter_term``).
+        """
+        snippet = self.snippets[snippet_index % len(self.snippets)]
+        space = self.action_space
+        if snippet.kind == "F":
+            attr = snippet.fixed.get("attr")
+            attr_index = (
+                space.index_of_attribute(attr)
+                if attr is not None
+                else free_indices.get("filter_attr", 0)
+            )
+            resolved_attr = space.attributes[attr_index % len(space.attributes)]
+            op = snippet.fixed.get("op")
+            op_index = (
+                space.index_of_operator(op)
+                if op is not None
+                else free_indices.get("filter_op", 0)
+            )
+            term = snippet.fixed.get("term")
+            if term is not None:
+                term_index = space.index_of_term(resolved_attr, term)
+                if term_index is None:
+                    term_index = free_indices.get("filter_term", 0)
+            else:
+                term_index = free_indices.get("filter_term", 0)
+            return ActionChoice(
+                action_type=1,
+                filter_attr=attr_index,
+                filter_op=op_index,
+                filter_term=term_index,
+            )
+        group_attr = snippet.fixed.get("group_attr")
+        group_index = (
+            space.index_of_group_attribute(group_attr)
+            if group_attr is not None
+            else free_indices.get("group_attr", 0)
+        )
+        agg_func = snippet.fixed.get("agg_func")
+        agg_index = (
+            space.index_of_agg(agg_func)
+            if agg_func is not None
+            else free_indices.get("agg_func", 0)
+        )
+        agg_attr = snippet.fixed.get("agg_attr")
+        agg_attr_index = (
+            space.index_of_agg_attribute(agg_attr)
+            if agg_attr is not None
+            else free_indices.get("agg_attr", 0)
+        )
+        return ActionChoice(
+            action_type=2,
+            group_attr=group_index,
+            agg_func=agg_index,
+            agg_attr=agg_attr_index,
+        )
+
+    def example_operation(self, snippet_index: int) -> Operation:
+        """A representative concrete operation for the snippet (testing/diagnostics)."""
+        choice = self.to_action_choice(snippet_index, {})
+        return self.action_space.decode(choice)
+
+    # -- logit biasing --------------------------------------------------------------------
+    def preferred_indices(self) -> dict[str, set[int]]:
+        """Head indices that occur in any snippet's fixed fields.
+
+        The specification-aware policy uses this to bias the ordinary
+        parameter heads toward values that can appear in compliant sessions.
+        """
+        space = self.action_space
+        preferred: dict[str, set[int]] = {
+            "filter_attr": set(),
+            "filter_op": set(),
+            "group_attr": set(),
+            "agg_func": set(),
+            "agg_attr": set(),
+        }
+        for snippet in self.snippets:
+            if snippet.kind == "F":
+                attr = snippet.fixed.get("attr")
+                if attr in space.attributes:
+                    preferred["filter_attr"].add(space.index_of_attribute(attr))
+                op = snippet.fixed.get("op")
+                if op in space.filter_operators:
+                    preferred["filter_op"].add(space.index_of_operator(op))
+            else:
+                group_attr = snippet.fixed.get("group_attr")
+                if group_attr in space.group_attributes:
+                    preferred["group_attr"].add(space.index_of_group_attribute(group_attr))
+                agg_func = snippet.fixed.get("agg_func")
+                if agg_func in space.agg_functions:
+                    preferred["agg_func"].add(space.index_of_agg(agg_func))
+                agg_attr = snippet.fixed.get("agg_attr")
+                if agg_attr in space.agg_attributes:
+                    preferred["agg_attr"].add(space.index_of_agg_attribute(agg_attr))
+        return preferred

@@ -1,0 +1,292 @@
+"""The specification-aware policy (Section 5.3, Figure 2).
+
+The network derives part of its structure from the LDX specifications:
+
+* an extra value in the operation-type head — the high-level **snippet**
+  action;
+* a **snippet-selection** head ``sigma_snp`` with one entry per snippet
+  derived from the operational specifications;
+* a per-state **guidance mechanism** implementing the paper's description of
+  the constrained-DRL-inspired design: "rather than overriding actions
+  externally, we encourage the agent to perform compliant queries by
+  dynamically shifting the action distribution probabilities toward queries
+  that are more likely to be included in a specifications-compliant
+  exploration session".  Concretely, using the (relaxed) LDX matcher over the
+  ongoing session the policy determines which specification node should be
+  realised next, biases the operation-type head toward *operating* vs
+  *backing up*, biases the snippet head toward snippets derived from that
+  specification, and biases the free-parameter heads toward values that are
+  consistent with already-bound continuity variables.
+
+A snippet choice is resolved back into a fully factored
+:class:`~repro.explore.action_space.ActionChoice`, so the environment and the
+trainer stay unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.explore.action_space import ActionChoice, ActionSpace, HEAD_ORDER
+from repro.explore.environment import ExplorationEnvironment
+from repro.ldx.ast import LdxQuery, NodeSpec
+from repro.ldx.patterns import FIELD_CONTINUITY, OperationPattern
+from repro.ldx.verifier import best_partial_structural_assignment
+from repro.rl.network import MultiHeadPolicyNetwork
+from repro.rl.policy import CategoricalPolicy
+
+from .snippets import FILTER_ROLES, GROUP_ROLES, SnippetLibrary
+
+#: Index of the extra "snippet" entry in the extended operation-type head.
+SNIPPET_ACTION_INDEX = 3
+
+#: Name of the snippet-selection head.
+SNIPPET_HEAD = "snippet_select"
+
+#: Index of the back action in the operation-type head.
+BACK_ACTION_INDEX = 0
+
+#: Head names corresponding to each pattern field role.
+_FILTER_ROLE_HEADS = {"attr": "filter_attr", "op": "filter_op", "term": "filter_term"}
+_GROUP_ROLE_HEADS = {
+    "group_attr": "group_attr",
+    "agg_func": "agg_func",
+    "agg_attr": "agg_attr",
+}
+
+
+class SpecificationAwarePolicy(CategoricalPolicy):
+    """A categorical policy whose head layout and biases derive from the LDX query."""
+
+    def __init__(
+        self,
+        observation_size: int,
+        action_space: ActionSpace,
+        query: LdxQuery,
+        hidden_sizes: tuple[int, ...] = (64, 64),
+        seed: int = 0,
+        snippet_bias: float = 2.5,
+        parameter_bias: float = 1.0,
+        structure_bias: float = 6.0,
+        continuity_bias: float = 5.0,
+    ):
+        self.action_space = action_space
+        self.query = query
+        self.library = SnippetLibrary(query, action_space)
+        head_sizes = dict(action_space.head_sizes())
+        head_sizes["action_type"] = head_sizes["action_type"] + 1  # + snippet action
+        head_sizes[SNIPPET_HEAD] = max(1, len(self.library))
+        network = MultiHeadPolicyNetwork(
+            observation_size=observation_size,
+            head_sizes=head_sizes,
+            hidden_sizes=hidden_sizes,
+            seed=seed,
+        )
+        self.snippet_bias = snippet_bias
+        self.parameter_bias = parameter_bias
+        self.structure_bias = structure_bias
+        self.continuity_bias = continuity_bias
+        #: Set by :class:`~repro.cdrl.agent.LinxCdrlAgent` so the policy can
+        #: inspect the ongoing session when computing the guidance.
+        self.environment: Optional[ExplorationEnvironment] = None
+        self._preferred = self.library.preferred_indices()
+        super().__init__(network, rng=np.random.default_rng(seed), bias_provider=None)
+
+    # -- bias computation (once per step) --------------------------------------------------
+    def _collect_biases(self) -> dict[str, np.ndarray]:
+        """Static specification biases plus the per-state guidance."""
+        biases: dict[str, np.ndarray] = {}
+        sizes = self.network.head_sizes
+
+        action_bias = np.zeros(sizes["action_type"])
+        if len(self.library) > 0:
+            action_bias[SNIPPET_ACTION_INDEX] = self.snippet_bias
+        biases["action_type"] = action_bias
+
+        for head, indices in self._preferred.items():
+            if not indices or head not in sizes:
+                continue
+            bias = np.zeros(sizes[head])
+            for index in indices:
+                if index < len(bias):
+                    bias[index] = self.parameter_bias
+            biases[head] = bias
+
+        self._apply_guidance(biases)
+        return biases
+
+    def _apply_guidance(self, biases: dict[str, np.ndarray]) -> None:
+        """Shift distributions toward the specification node that should come next."""
+        if self.environment is None:
+            return
+        session = self.environment.session
+        tree = session.to_tree()
+        assignment, assigned, named = best_partial_structural_assignment(tree, self.query)
+        if named == 0:
+            return
+        bindings = self._continuity_bindings(assignment, tree)
+        pending = self._pending_spec(assignment)
+        sizes = self.network.head_sizes
+        if pending is None:
+            return
+        target = self._target_parent_node(pending.name, assignment, tree, session)
+        action_bias = biases.setdefault("action_type", np.zeros(sizes["action_type"]))
+        if target is None or target is session.current:
+            action_bias[SNIPPET_ACTION_INDEX] += self.structure_bias
+            action_bias[BACK_ACTION_INDEX] -= self.structure_bias
+            self._bias_toward_spec(pending, bindings, biases)
+        else:
+            action_bias[BACK_ACTION_INDEX] += self.structure_bias
+            action_bias[SNIPPET_ACTION_INDEX] -= self.structure_bias
+
+    # -- guidance helpers -------------------------------------------------------------------
+    def _pending_spec(self, assignment) -> Optional[NodeSpec]:
+        """The next unrealised named node, following the specification pre-order."""
+        for name in self.query.preorder_named_nodes():
+            if name not in assignment.nodes:
+                spec = self.query.spec_for(name)
+                if spec is not None:
+                    return spec
+                return NodeSpec(name=name)
+        return None
+
+    def _declared_parent(self, name: str) -> Optional[str]:
+        for spec in self.query.specs:
+            for clause in spec.structure:
+                if name in clause.named:
+                    return spec.name
+        return None
+
+    def _target_parent_node(self, pending_name: str, assignment, tree, session):
+        """The session node under which the pending specification node belongs."""
+        parent_name = self._declared_parent(pending_name)
+        while parent_name is not None and parent_name not in assignment.nodes:
+            parent_name = self._declared_parent(parent_name)
+        target_tree_node = assignment.nodes.get(parent_name or self.query.root_name())
+        if target_tree_node is None:
+            return None
+        tree_nodes = list(tree.preorder())
+        session_nodes = list(session.root.preorder())
+        for position, node in enumerate(tree_nodes):
+            if node is target_tree_node and position < len(session_nodes):
+                return session_nodes[position]
+        return None
+
+    def _continuity_bindings(self, assignment, tree) -> dict[str, str]:
+        """Continuity values already pinned down by realised specification nodes."""
+        bindings: dict[str, str] = {}
+        for spec in self.query.operational_specs():
+            node = assignment.nodes.get(spec.name)
+            if node is None or spec.operation is None:
+                continue
+            signature = _node_signature(node)
+            pattern = spec.operation.substitute(bindings)
+            if pattern.matches(signature, bindings):
+                bindings.update(pattern.capture(signature, bindings))
+        return bindings
+
+    def _bias_toward_spec(
+        self,
+        spec: NodeSpec,
+        bindings: dict[str, str],
+        biases: dict[str, np.ndarray],
+    ) -> None:
+        """Bias snippet selection and free-parameter heads toward *spec*."""
+        sizes = self.network.head_sizes
+        if len(self.library) > 0 and SNIPPET_HEAD in sizes:
+            snippet_bias = biases.setdefault(SNIPPET_HEAD, np.zeros(sizes[SNIPPET_HEAD]))
+            for index, snippet in enumerate(self.library.snippets):
+                if snippet.source_node == spec.name and index < len(snippet_bias):
+                    snippet_bias[index] += self.structure_bias
+        if spec.operation is None:
+            return
+        pattern = spec.operation.substitute(bindings)
+        role_heads = _FILTER_ROLE_HEADS if pattern.kind == "F" else _GROUP_ROLE_HEADS
+        roles = FILTER_ROLES if pattern.kind == "F" else GROUP_ROLES
+        for position, role in enumerate(roles):
+            head = role_heads[role]
+            if head not in sizes:
+                continue
+            index = self._preferred_index_for_field(pattern, position, role)
+            if index is None:
+                continue
+            bias = biases.setdefault(head, np.zeros(sizes[head]))
+            if index < len(bias):
+                bias[index] += self.continuity_bias
+
+    def _preferred_index_for_field(
+        self, pattern: OperationPattern, position: int, role: str
+    ) -> Optional[int]:
+        """Head index pinned by a literal field (including substituted continuity values)."""
+        if position >= len(pattern.fields):
+            return None
+        field = pattern.fields[position]
+        if field.kind == FIELD_CONTINUITY or not field.is_specified or "|" in field.value:
+            return None
+        value = field.value
+        space = self.action_space
+        if role == "attr":
+            return space.index_of_attribute(value) if value in space.attributes else None
+        if role == "op":
+            return space.index_of_operator(value) if value in space.filter_operators else None
+        if role == "term":
+            attr_field = pattern.fields[0] if pattern.fields else None
+            attr = attr_field.value if attr_field is not None and attr_field.is_specified else None
+            if attr is None:
+                return None
+            return space.index_of_term(attr, value)
+        if role == "group_attr":
+            return (
+                space.index_of_group_attribute(value)
+                if value in space.group_attributes
+                else None
+            )
+        if role == "agg_func":
+            return space.index_of_agg(value) if value in space.agg_functions else None
+        if role == "agg_attr":
+            return (
+                space.index_of_agg_attribute(value) if value in space.agg_attributes else None
+            )
+        return None
+
+    # -- decoding ---------------------------------------------------------------------------
+    def indices_to_choice(self, indices: dict[str, int]) -> ActionChoice:
+        """Map sampled head indices to an executable action choice.
+
+        Non-snippet action types behave exactly as in the base action space;
+        the snippet action routes through the snippet library, using the
+        sampled parameter heads only for the snippet's free parameters.
+        """
+        action_type = indices.get("action_type", 0)
+        if action_type == SNIPPET_ACTION_INDEX and len(self.library) > 0:
+            return self.library.to_action_choice(indices.get(SNIPPET_HEAD, 0), indices)
+        base = {name: indices.get(name, 0) for name in HEAD_ORDER}
+        base["action_type"] = min(action_type, 2)
+        return ActionChoice(**base)
+
+
+def _node_signature(node) -> tuple[str, ...]:
+    label = node.label
+    if hasattr(label, "signature"):
+        return tuple(str(part) for part in label.signature())
+    if isinstance(label, (tuple, list)):
+        return tuple(str(part) for part in label)
+    return (str(label),)
+
+
+def build_basic_policy(
+    observation_size: int,
+    action_space: ActionSpace,
+    hidden_sizes: tuple[int, ...] = (64, 64),
+    seed: int = 0,
+) -> CategoricalPolicy:
+    """The plain (non specification-aware) policy used by ATENA and the ablations."""
+    network = MultiHeadPolicyNetwork(
+        observation_size=observation_size,
+        head_sizes=action_space.head_sizes(),
+        hidden_sizes=hidden_sizes,
+        seed=seed,
+    )
+    return CategoricalPolicy(network, rng=np.random.default_rng(seed))

@@ -1,0 +1,64 @@
+"""Columnar data engine: the pandas substitute used throughout the reproduction.
+
+Public API::
+
+    from repro.dataframe import DataTable, Predicate, read_csv
+
+    table = read_csv("netflix.csv")
+    india = table.filter(Predicate("country", "eq", "India"))
+    by_rating = india.groupby_agg("rating", "count")
+"""
+
+from .aggregates import AGG_FUNCTIONS, apply_aggregation, canonical_agg
+from .column import Column, infer_dtype, is_null
+from .errors import (
+    AggregationError,
+    ColumnNotFoundError,
+    DataFrameError,
+    FilterError,
+    IOFormatError,
+    SchemaError,
+    TypeMismatchError,
+)
+from .expressions import FILTER_OPERATORS, Predicate, canonical_operator
+from .io import (
+    read_csv,
+    read_delimited,
+    read_delimited_text,
+    read_tsv,
+    table_to_csv_text,
+    write_csv,
+    write_delimited,
+    write_tsv,
+)
+from .table import DataTable, concat_rows, infer_schema
+
+__all__ = [
+    "AGG_FUNCTIONS",
+    "AggregationError",
+    "Column",
+    "ColumnNotFoundError",
+    "DataFrameError",
+    "DataTable",
+    "FILTER_OPERATORS",
+    "FilterError",
+    "IOFormatError",
+    "Predicate",
+    "SchemaError",
+    "TypeMismatchError",
+    "apply_aggregation",
+    "canonical_agg",
+    "canonical_operator",
+    "concat_rows",
+    "infer_dtype",
+    "infer_schema",
+    "is_null",
+    "read_csv",
+    "read_delimited",
+    "read_delimited_text",
+    "read_tsv",
+    "table_to_csv_text",
+    "write_csv",
+    "write_delimited",
+    "write_tsv",
+]

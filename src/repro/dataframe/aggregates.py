@@ -1,0 +1,116 @@
+"""Aggregation functions for group-and-aggregate operations.
+
+LINX group-by operations are parametric tuples ``[G, g_attr, agg_func,
+agg_attr]`` (Section 3).  This module provides the closed set of aggregation
+functions used by the action space and the notebook renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from .errors import AggregationError
+
+#: Canonical aggregation function names, in action-space order.
+AGG_FUNCTIONS: tuple[str, ...] = ("count", "sum", "mean", "min", "max", "nunique")
+
+#: Aliases accepted from LDX / PyLDX text.
+AGG_ALIASES: dict[str, str] = {
+    "count": "count",
+    "cnt": "count",
+    "size": "count",
+    "sum": "sum",
+    "total": "sum",
+    "mean": "mean",
+    "avg": "mean",
+    "average": "mean",
+    "min": "min",
+    "minimum": "min",
+    "max": "max",
+    "maximum": "max",
+    "nunique": "nunique",
+    "distinct": "nunique",
+    "count_distinct": "nunique",
+}
+
+
+def canonical_agg(name: str) -> str:
+    """Map an aggregation spelling (``avg``, ``CNT`` ...) to its canonical name."""
+    key = str(name).strip().lower()
+    if key not in AGG_ALIASES:
+        raise AggregationError(f"unknown aggregation function {name!r}")
+    return AGG_ALIASES[key]
+
+
+def _non_null(values: Sequence[Any]) -> list[Any]:
+    return [v for v in values if v is not None]
+
+
+def agg_count(values: Sequence[Any]) -> int:
+    """Count of non-null values (count(*) semantics when applied to the group key)."""
+    return len(_non_null(values))
+
+
+def agg_sum(values: Sequence[Any]) -> float | int | None:
+    numeric = _require_numeric(values, "sum")
+    return sum(numeric) if numeric else None
+
+
+def agg_mean(values: Sequence[Any]) -> float | None:
+    numeric = _require_numeric(values, "mean")
+    if not numeric:
+        return None
+    return sum(numeric) / len(numeric)
+
+
+def agg_min(values: Sequence[Any]) -> Any:
+    present = _non_null(values)
+    if not present:
+        return None
+    try:
+        return min(present)
+    except TypeError as exc:
+        raise AggregationError("min() over mixed-type values") from exc
+
+
+def agg_max(values: Sequence[Any]) -> Any:
+    present = _non_null(values)
+    if not present:
+        return None
+    try:
+        return max(present)
+    except TypeError as exc:
+        raise AggregationError("max() over mixed-type values") from exc
+
+
+def agg_nunique(values: Sequence[Any]) -> int:
+    return len(set(_non_null(values)))
+
+
+def _require_numeric(values: Sequence[Any], func: str) -> list[float]:
+    numeric: list[float] = []
+    for value in _non_null(values):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise AggregationError(f"{func}() requires numeric values, got {value!r}")
+        numeric.append(value)
+    return numeric
+
+
+AGG_IMPLEMENTATIONS: dict[str, Callable[[Sequence[Any]], Any]] = {
+    "count": agg_count,
+    "sum": agg_sum,
+    "mean": agg_mean,
+    "min": agg_min,
+    "max": agg_max,
+    "nunique": agg_nunique,
+}
+
+
+def apply_aggregation(name: str, values: Sequence[Any]) -> Any:
+    """Apply aggregation *name* (canonical or alias) to *values*."""
+    return AGG_IMPLEMENTATIONS[canonical_agg(name)](values)
+
+
+def numeric_only(name: str) -> bool:
+    """True when the aggregation is only defined for numeric columns."""
+    return canonical_agg(name) in ("sum", "mean")

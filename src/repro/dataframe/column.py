@@ -1,0 +1,222 @@
+"""Typed, immutable columns for the columnar data engine.
+
+A :class:`Column` stores a homogeneous sequence of values plus a null mask.
+Three logical dtypes are supported -- ``int``, ``float`` and ``str`` -- which
+is all the LINX exploration operators (filter, group-by, aggregate) require.
+Columns are deliberately immutable: every transformation returns a new
+column, which keeps exploration-tree views independent of each other.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from .errors import TypeMismatchError
+
+#: Sentinel used for missing values in textual columns.
+NULL = None
+
+_NUMERIC_DTYPES = ("int", "float")
+_VALID_DTYPES = ("int", "float", "str")
+
+
+def infer_dtype(values: Iterable[Any]) -> str:
+    """Infer the narrowest dtype (``int`` < ``float`` < ``str``) for *values*.
+
+    Nulls (``None`` / NaN / empty string) are ignored during inference.  An
+    empty or all-null input defaults to ``str`` because string columns accept
+    any value representation.
+    """
+    saw_int = False
+    saw_float = False
+    saw_value = False
+    for value in values:
+        if is_null(value):
+            continue
+        saw_value = True
+        if isinstance(value, bool):
+            return "str"
+        if isinstance(value, int):
+            saw_int = True
+        elif isinstance(value, float):
+            saw_float = True
+        else:
+            return "str"
+    if not saw_value:
+        return "str"
+    if saw_float:
+        return "float"
+    if saw_int:
+        return "int"
+    return "str"
+
+
+def is_null(value: Any) -> bool:
+    """Return True for the engine's notion of a missing value."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, str) and value == "":
+        return True
+    return False
+
+
+def coerce_value(value: Any, dtype: str) -> Any:
+    """Coerce *value* to *dtype*, returning ``None`` for nulls.
+
+    Raises :class:`TypeMismatchError` if the value cannot be represented in
+    the requested dtype.
+    """
+    if is_null(value):
+        return None
+    try:
+        if dtype == "int":
+            if isinstance(value, str):
+                return int(float(value))
+            return int(value)
+        if dtype == "float":
+            return float(value)
+        if dtype == "str":
+            return str(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeMismatchError(f"cannot coerce {value!r} to {dtype}") from exc
+    raise TypeMismatchError(f"unknown dtype {dtype!r}")
+
+
+class Column:
+    """An immutable, named, typed sequence of values.
+
+    Parameters
+    ----------
+    name:
+        Column name as it appears in the table schema.
+    values:
+        Raw values; they are coerced to *dtype* on construction.
+    dtype:
+        One of ``int``, ``float``, ``str``.  When omitted it is inferred.
+    """
+
+    __slots__ = ("name", "dtype", "_values")
+
+    def __init__(self, name: str, values: Sequence[Any], dtype: str | None = None):
+        if dtype is None:
+            dtype = infer_dtype(values)
+        if dtype not in _VALID_DTYPES:
+            raise TypeMismatchError(f"unsupported dtype {dtype!r}")
+        self.name = name
+        self.dtype = dtype
+        self._values: tuple[Any, ...] = tuple(coerce_value(v, dtype) for v in values)
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __getitem__(self, index: int) -> Any:
+        return self._values[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.dtype == other.dtype
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.dtype, self._values))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self._values[:5])
+        suffix = ", ..." if len(self._values) > 5 else ""
+        return f"Column({self.name!r}, dtype={self.dtype}, [{preview}{suffix}])"
+
+    # -- accessors -----------------------------------------------------------------
+    @property
+    def values(self) -> tuple[Any, ...]:
+        """The tuple of (possibly null) values."""
+        return self._values
+
+    @property
+    def is_numeric(self) -> bool:
+        """True when the column holds ints or floats."""
+        return self.dtype in _NUMERIC_DTYPES
+
+    def null_count(self) -> int:
+        """Number of missing values."""
+        return sum(1 for v in self._values if v is None)
+
+    def non_null(self) -> list[Any]:
+        """All non-null values, in order."""
+        return [v for v in self._values if v is not None]
+
+    def unique(self) -> list[Any]:
+        """Distinct non-null values in first-appearance order."""
+        seen: dict[Any, None] = {}
+        for value in self._values:
+            if value is not None and value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def value_counts(self) -> dict[Any, int]:
+        """Mapping of non-null value -> number of occurrences."""
+        counts: dict[Any, int] = {}
+        for value in self._values:
+            if value is None:
+                continue
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    def nunique(self) -> int:
+        """Number of distinct non-null values."""
+        return len(self.unique())
+
+    # -- transformations -----------------------------------------------------------
+    def rename(self, name: str) -> "Column":
+        """Return a copy of the column under a new name."""
+        clone = Column.__new__(Column)
+        clone.name = name
+        clone.dtype = self.dtype
+        clone._values = self._values
+        return clone
+
+    def take(self, indices: Sequence[int]) -> "Column":
+        """Return a new column containing the rows at *indices* (in order)."""
+        clone = Column.__new__(Column)
+        clone.name = self.name
+        clone.dtype = self.dtype
+        clone._values = tuple(self._values[i] for i in indices)
+        return clone
+
+    def cast(self, dtype: str) -> "Column":
+        """Return a copy of the column coerced to *dtype*."""
+        return Column(self.name, self._values, dtype=dtype)
+
+    # -- statistics ----------------------------------------------------------------
+    def min(self) -> Any:
+        values = self.non_null()
+        return min(values) if values else None
+
+    def max(self) -> Any:
+        values = self.non_null()
+        return max(values) if values else None
+
+    def sum(self) -> float | int | None:
+        if not self.is_numeric:
+            raise TypeMismatchError(f"sum() requires a numeric column, got {self.dtype}")
+        values = self.non_null()
+        return sum(values) if values else None
+
+    def mean(self) -> float | None:
+        if not self.is_numeric:
+            raise TypeMismatchError(f"mean() requires a numeric column, got {self.dtype}")
+        values = self.non_null()
+        if not values:
+            return None
+        return sum(values) / len(values)

@@ -1,0 +1,44 @@
+"""Exceptions raised by the columnar data engine.
+
+The exception hierarchy mirrors what a database client library would expose:
+a single root (:class:`DataFrameError`) so callers can catch everything from
+the engine, and specific subclasses for schema, type and lookup problems.
+"""
+
+from __future__ import annotations
+
+
+class DataFrameError(Exception):
+    """Base class for every error raised by :mod:`repro.dataframe`."""
+
+
+class ColumnNotFoundError(DataFrameError, KeyError):
+    """A referenced column does not exist in the table."""
+
+    def __init__(self, name: str, available: list[str] | None = None):
+        self.name = name
+        self.available = list(available or [])
+        message = f"column {name!r} not found"
+        if self.available:
+            message += f" (available: {', '.join(self.available)})"
+        super().__init__(message)
+
+
+class SchemaError(DataFrameError):
+    """Rows or columns are inconsistent with the table schema."""
+
+
+class TypeMismatchError(DataFrameError, TypeError):
+    """An operation was applied to a column of an incompatible type."""
+
+
+class AggregationError(DataFrameError):
+    """An aggregation function cannot be applied to the given column."""
+
+
+class FilterError(DataFrameError):
+    """A filter predicate is malformed or cannot be evaluated."""
+
+
+class IOFormatError(DataFrameError):
+    """A delimited file could not be parsed into a table."""

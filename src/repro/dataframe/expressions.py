@@ -1,0 +1,182 @@
+"""Filter predicates over columns.
+
+LINX filter operations are parametric triples ``[F, attr, op, term]`` where
+``op`` is one of a small closed set of comparison operators (Section 3 of
+the paper).  This module implements those operators as composable predicate
+objects that evaluate against a :class:`~repro.dataframe.column.Column`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .column import Column
+from .errors import FilterError
+
+#: Canonical operator names supported by the engine, in the order used by the
+#: LINX action space.
+FILTER_OPERATORS: tuple[str, ...] = (
+    "eq",
+    "neq",
+    "gt",
+    "ge",
+    "lt",
+    "le",
+    "contains",
+    "startswith",
+    "endswith",
+)
+
+#: Aliases accepted when parsing LDX or PyLDX text.
+OPERATOR_ALIASES: dict[str, str] = {
+    "==": "eq",
+    "=": "eq",
+    "eq": "eq",
+    "!=": "neq",
+    "ne": "neq",
+    "neq": "neq",
+    "<>": "neq",
+    ">": "gt",
+    "gt": "gt",
+    ">=": "ge",
+    "ge": "ge",
+    "geq": "ge",
+    "<": "lt",
+    "lt": "lt",
+    "<=": "le",
+    "le": "le",
+    "leq": "le",
+    "contains": "contains",
+    "in": "contains",
+    "startswith": "startswith",
+    "starts_with": "startswith",
+    "endswith": "endswith",
+    "ends_with": "endswith",
+}
+
+
+def canonical_operator(op: str) -> str:
+    """Map an operator spelling (``=``, ``!=``, ``eq`` ...) to its canonical name."""
+    key = str(op).strip().lower()
+    if key not in OPERATOR_ALIASES:
+        raise FilterError(f"unknown filter operator {op!r}")
+    return OPERATOR_ALIASES[key]
+
+
+def _compare_numeric(op: str, value: Any, term: Any) -> bool:
+    try:
+        left = float(value)
+        right = float(term)
+    except (TypeError, ValueError):
+        return False
+    if op == "gt":
+        return left > right
+    if op == "ge":
+        return left >= right
+    if op == "lt":
+        return left < right
+    if op == "le":
+        return left <= right
+    raise FilterError(f"unsupported numeric operator {op!r}")
+
+
+def _values_equal(value: Any, term: Any) -> bool:
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        try:
+            return float(value) == float(term)
+        except (TypeError, ValueError):
+            return str(value) == str(term)
+    return str(value) == str(term)
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single-column filter predicate ``column <op> term``."""
+
+    column: str
+    op: str
+    term: Any
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "op", canonical_operator(self.op))
+
+    def evaluate(self, value: Any) -> bool:
+        """Evaluate the predicate against a single cell value.
+
+        Nulls never satisfy a predicate, matching SQL three-valued logic
+        collapsed to False.
+        """
+        if value is None:
+            return False
+        op = self.op
+        term = self.term
+        if op == "eq":
+            return _values_equal(value, term)
+        if op == "neq":
+            return not _values_equal(value, term)
+        if op in ("gt", "ge", "lt", "le"):
+            return _compare_numeric(op, value, term)
+        text = str(value).lower()
+        needle = str(term).lower()
+        if op == "contains":
+            return needle in text
+        if op == "startswith":
+            return text.startswith(needle)
+        if op == "endswith":
+            return text.endswith(needle)
+        raise FilterError(f"unsupported operator {op!r}")
+
+    def mask(self, column: Column) -> list[bool]:
+        """Evaluate the predicate over every row of *column*."""
+        return [self.evaluate(value) for value in column]
+
+    def describe(self) -> str:
+        """Human readable rendering used in notebooks, e.g. ``country = India``."""
+        symbol = {
+            "eq": "=",
+            "neq": "!=",
+            "gt": ">",
+            "ge": ">=",
+            "lt": "<",
+            "le": "<=",
+            "contains": "contains",
+            "startswith": "starts with",
+            "endswith": "ends with",
+        }[self.op]
+        return f"{self.column} {symbol} {self.term}"
+
+
+def combine_and(masks: list[list[bool]]) -> list[bool]:
+    """AND-combine several row masks of equal length."""
+    if not masks:
+        raise FilterError("combine_and() requires at least one mask")
+    length = len(masks[0])
+    for mask in masks:
+        if len(mask) != length:
+            raise FilterError("masks must have equal length")
+    return [all(mask[i] for mask in masks) for i in range(length)]
+
+
+def combine_or(masks: list[list[bool]]) -> list[bool]:
+    """OR-combine several row masks of equal length."""
+    if not masks:
+        raise FilterError("combine_or() requires at least one mask")
+    length = len(masks[0])
+    for mask in masks:
+        if len(mask) != length:
+            raise FilterError("masks must have equal length")
+    return [any(mask[i] for mask in masks) for i in range(length)]
+
+
+def predicate_from_parts(column: str, op: str, term: Any) -> Predicate:
+    """Convenience constructor used by the LDX and PyLDX layers."""
+    return Predicate(column=column, op=op, term=term)
+
+
+#: Registry mapping canonical operator names to cell-level callables, useful
+#: for property-based testing of operator semantics.
+OPERATOR_FUNCTIONS: dict[str, Callable[[Any, Any], bool]] = {
+    name: (lambda v, t, _n=name: Predicate("_", _n, t).evaluate(v))
+    for name in FILTER_OPERATORS
+}

@@ -1,0 +1,123 @@
+"""Delimited-file IO for :class:`~repro.dataframe.table.DataTable`.
+
+The LINX prompts and benchmark datasets are stored as CSV/TSV files; this
+module reads and writes them with automatic type inference, matching the way
+the paper loads the Kaggle datasets with ``pd.read_csv``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Sequence
+
+from .column import infer_dtype, coerce_value
+from .errors import IOFormatError
+from .table import DataTable
+
+
+def _parse_cell(text: str) -> Any:
+    """Parse a raw CSV cell into int, float or str (empty -> null)."""
+    stripped = text.strip()
+    if stripped == "":
+        return None
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    return stripped
+
+
+def read_delimited(
+    path: str | Path,
+    delimiter: str = ",",
+    name: str | None = None,
+) -> DataTable:
+    """Read a delimited text file into a :class:`DataTable`.
+
+    The first row is treated as the header.  Cells are type-inferred per
+    column (int < float < str), and empty cells become nulls.
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        return read_delimited_text(handle.read(), delimiter=delimiter, name=name or path.stem)
+
+
+def read_delimited_text(text: str, delimiter: str = ",", name: str = "table") -> DataTable:
+    """Parse delimited *text* (header + rows) into a :class:`DataTable`."""
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = list(reader)
+    if not rows:
+        raise IOFormatError("empty input: no header row")
+    header = [cell.strip() for cell in rows[0]]
+    if any(not cell for cell in header):
+        raise IOFormatError(f"blank column name in header: {header}")
+    columns: dict[str, list[Any]] = {col: [] for col in header}
+    for line_no, row in enumerate(rows[1:], start=2):
+        if not row or all(cell.strip() == "" for cell in row):
+            continue
+        if len(row) != len(header):
+            raise IOFormatError(
+                f"line {line_no}: expected {len(header)} cells, got {len(row)}"
+            )
+        for col, cell in zip(header, row):
+            columns[col].append(_parse_cell(cell))
+
+    # Normalise mixed int/float columns to a single dtype.
+    normalised: dict[str, list[Any]] = {}
+    for col, values in columns.items():
+        dtype = infer_dtype(values)
+        normalised[col] = [coerce_value(v, dtype) for v in values]
+    return DataTable(normalised, name=name)
+
+
+def read_csv(path: str | Path, name: str | None = None) -> DataTable:
+    """Read a comma-separated file."""
+    return read_delimited(path, delimiter=",", name=name)
+
+
+def read_tsv(path: str | Path, name: str | None = None) -> DataTable:
+    """Read a tab-separated file (the format used in the paper's prompts)."""
+    return read_delimited(path, delimiter="\t", name=name)
+
+
+def write_delimited(
+    table: DataTable,
+    path: str | Path,
+    delimiter: str = ",",
+    columns: Sequence[str] | None = None,
+) -> None:
+    """Write *table* to a delimited text file with a header row."""
+    path = Path(path)
+    cols = list(columns) if columns is not None else table.columns
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(cols)
+        for record in table.select(cols).rows():
+            writer.writerow(["" if record[c] is None else record[c] for c in cols])
+
+
+def write_csv(table: DataTable, path: str | Path) -> None:
+    """Write *table* as CSV."""
+    write_delimited(table, path, delimiter=",")
+
+
+def write_tsv(table: DataTable, path: str | Path) -> None:
+    """Write *table* as TSV."""
+    write_delimited(table, path, delimiter="\t")
+
+
+def table_to_csv_text(table: DataTable, delimiter: str = ",", max_rows: int | None = None) -> str:
+    """Render *table* as delimited text (used to embed dataset samples in prompts)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter)
+    writer.writerow(table.columns)
+    rows = table.rows() if max_rows is None else table.head(max_rows).rows()
+    for record in rows:
+        writer.writerow(["" if record[c] is None else record[c] for c in table.columns])
+    return buffer.getvalue()

@@ -1,0 +1,313 @@
+"""The :class:`DataTable`: an immutable, columnar, in-memory table.
+
+This is the engine that replaces pandas in the LINX pipeline.  It supports
+exactly the operations the paper's exploration model requires:
+
+* schema inspection (column names, dtypes, distinct counts),
+* row filtering with :class:`~repro.dataframe.expressions.Predicate`,
+* group-and-aggregate with the functions in
+  :mod:`repro.dataframe.aggregates`,
+* ordering, projection and sampling helpers used by the notebook renderer.
+
+Tables are immutable: each operation returns a new table, so every node of
+an exploration tree holds an independent view of the data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+from .aggregates import apply_aggregation, canonical_agg, numeric_only
+from .column import Column, infer_dtype
+from .errors import (
+    AggregationError,
+    ColumnNotFoundError,
+    SchemaError,
+)
+from .expressions import Predicate
+
+
+class DataTable:
+    """An immutable columnar table.
+
+    Construct from a mapping of column name -> sequence of values, from a
+    list of row dictionaries (:meth:`from_records`) or from a delimited file
+    (:func:`repro.dataframe.io.read_delimited`).
+    """
+
+    def __init__(self, columns: Mapping[str, Sequence[Any]] | Sequence[Column], name: str = "table"):
+        self.name = name
+        cols: list[Column] = []
+        if isinstance(columns, Mapping):
+            for col_name, values in columns.items():
+                cols.append(Column(str(col_name), list(values)))
+        else:
+            for col in columns:
+                if not isinstance(col, Column):
+                    raise SchemaError(f"expected Column instances, got {type(col).__name__}")
+                cols.append(col)
+        lengths = {len(c) for c in cols}
+        if len(lengths) > 1:
+            raise SchemaError(f"columns have differing lengths: {sorted(lengths)}")
+        names = [c.name for c in cols]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names: {names}")
+        self._columns: dict[str, Column] = {c.name: c for c in cols}
+        self._length = lengths.pop() if lengths else 0
+
+    # -- constructors ---------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Sequence[Mapping[str, Any]], name: str = "table") -> "DataTable":
+        """Build a table from a list of row dictionaries.
+
+        Missing keys become nulls; the union of keys defines the schema in
+        first-appearance order.
+        """
+        columns: dict[str, list[Any]] = {}
+        for record in records:
+            for key in record:
+                if key not in columns:
+                    columns[key] = []
+        for record in records:
+            for key in columns:
+                columns[key].append(record.get(key))
+        return cls(columns, name=name)
+
+    @classmethod
+    def empty(cls, schema: Sequence[str], name: str = "table") -> "DataTable":
+        """Create an empty table with the given column names."""
+        return cls({col: [] for col in schema}, name=name)
+
+    # -- basic protocol ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._columns
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataTable):
+            return NotImplemented
+        return self.columns == other.columns and all(
+            self._columns[c] == other._columns[c] for c in self._columns
+        )
+
+    def __repr__(self) -> str:
+        return f"DataTable(name={self.name!r}, rows={len(self)}, columns={self.columns})"
+
+    # -- schema -----------------------------------------------------------------------
+    @property
+    def columns(self) -> list[str]:
+        """Column names in schema order."""
+        return list(self._columns)
+
+    @property
+    def num_rows(self) -> int:
+        return self._length
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    def schema(self) -> dict[str, str]:
+        """Mapping of column name -> dtype."""
+        return {name: col.dtype for name, col in self._columns.items()}
+
+    def column(self, name: str) -> Column:
+        """Return the named column, raising :class:`ColumnNotFoundError` if absent."""
+        if name not in self._columns:
+            raise ColumnNotFoundError(name, self.columns)
+        return self._columns[name]
+
+    def numeric_columns(self) -> list[str]:
+        """Names of numeric (int/float) columns."""
+        return [name for name, col in self._columns.items() if col.is_numeric]
+
+    def categorical_columns(self) -> list[str]:
+        """Names of string columns."""
+        return [name for name, col in self._columns.items() if not col.is_numeric]
+
+    # -- row access ---------------------------------------------------------------------
+    def row(self, index: int) -> dict[str, Any]:
+        """Return row *index* as a dictionary."""
+        if index < 0 or index >= self._length:
+            raise IndexError(f"row index {index} out of range for {self._length} rows")
+        return {name: col[index] for name, col in self._columns.items()}
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Materialise all rows as dictionaries (intended for small results)."""
+        return [self.row(i) for i in range(self._length)]
+
+    def head(self, n: int = 5) -> "DataTable":
+        """First *n* rows as a new table."""
+        indices = list(range(min(n, self._length)))
+        return self._take(indices)
+
+    def _take(self, indices: Sequence[int]) -> "DataTable":
+        cols = [col.take(indices) for col in self._columns.values()]
+        return DataTable(cols, name=self.name)
+
+    # -- relational operations ------------------------------------------------------------
+    def select(self, columns: Sequence[str]) -> "DataTable":
+        """Project onto *columns* (in the given order)."""
+        cols = [self.column(name) for name in columns]
+        return DataTable(cols, name=self.name)
+
+    def filter(self, predicate: Predicate) -> "DataTable":
+        """Return the rows satisfying *predicate*."""
+        column = self.column(predicate.column)
+        mask = predicate.mask(column)
+        indices = [i for i, keep in enumerate(mask) if keep]
+        return self._take(indices)
+
+    def filter_rows(self, mask: Sequence[bool]) -> "DataTable":
+        """Return the rows where *mask* is True; the mask length must match."""
+        if len(mask) != self._length:
+            raise SchemaError(
+                f"mask length {len(mask)} does not match table length {self._length}"
+            )
+        indices = [i for i, keep in enumerate(mask) if keep]
+        return self._take(indices)
+
+    def sort_by(self, column: str, descending: bool = False) -> "DataTable":
+        """Sort rows by *column*; nulls sort last regardless of direction."""
+        col = self.column(column)
+        keyed = list(range(self._length))
+
+        def key(i: int):
+            value = col[i]
+            return (value is None, value if value is not None else 0)
+
+        keyed.sort(key=key, reverse=descending)
+        if descending:
+            # Move nulls back to the end after the reverse sort.
+            non_null = [i for i in keyed if col[i] is not None]
+            nulls = [i for i in keyed if col[i] is None]
+            keyed = non_null + nulls
+        return self._take(keyed)
+
+    def groupby_agg(
+        self,
+        group_column: str,
+        agg_func: str,
+        agg_column: str | None = None,
+    ) -> "DataTable":
+        """Group by *group_column* and aggregate *agg_column* with *agg_func*.
+
+        The result has two columns: the group key and a column named
+        ``{agg_func}_{agg_column}`` (or ``count`` for bare counts).  Groups are
+        returned ordered by descending aggregate value, then by key, which
+        mirrors the presentation order in the paper's notebooks.
+        """
+        func = canonical_agg(agg_func)
+        key_col = self.column(group_column)
+        if agg_column is None or func == "count" and agg_column == group_column:
+            agg_column = group_column
+        value_col = self.column(agg_column)
+        if numeric_only(func) and not value_col.is_numeric:
+            raise AggregationError(
+                f"{func}() on non-numeric column {agg_column!r} (dtype {value_col.dtype})"
+            )
+
+        groups: dict[Any, list[Any]] = {}
+        order: list[Any] = []
+        for i in range(self._length):
+            key = key_col[i]
+            if key is None:
+                continue
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(value_col[i])
+
+        result_name = "count" if func == "count" and agg_column == group_column else f"{func}_{agg_column}"
+        keys: list[Any] = []
+        values: list[Any] = []
+        for key in order:
+            keys.append(key)
+            values.append(apply_aggregation(func, groups[key]))
+
+        table = DataTable({group_column: keys, result_name: values}, name=self.name)
+        # Present the largest groups first, which is how analysts read them.
+        value_column = table.column(result_name)
+        if value_column.is_numeric:
+            table = table.sort_by(result_name, descending=True)
+        return table
+
+    def distinct(self, column: str) -> list[Any]:
+        """Distinct non-null values of *column*."""
+        return self.column(column).unique()
+
+    def value_counts(self, column: str) -> dict[Any, int]:
+        """Frequency of each non-null value in *column*."""
+        return self.column(column).value_counts()
+
+    def sample_values(self, column: str, k: int = 10, seed: int = 0) -> list[Any]:
+        """A deterministic pseudo-random sample of up to *k* distinct values."""
+        values = self.distinct(column)
+        if len(values) <= k:
+            return values
+        # Simple deterministic LCG shuffle; avoids importing random for reproducibility.
+        state = (seed * 2654435761 + 97) % (2**32)
+        picked: list[Any] = []
+        pool = list(values)
+        for _ in range(k):
+            state = (1103515245 * state + 12345) % (2**31)
+            index = state % len(pool)
+            picked.append(pool.pop(index))
+        return picked
+
+    # -- export ------------------------------------------------------------------------
+    def to_records(self) -> list[dict[str, Any]]:
+        """Alias of :meth:`rows` for symmetry with :meth:`from_records`."""
+        return self.rows()
+
+    def to_columns(self) -> dict[str, list[Any]]:
+        """Materialise the table as a mapping of column name -> list of values."""
+        return {name: list(col.values) for name, col in self._columns.items()}
+
+    def describe(self) -> dict[str, dict[str, Any]]:
+        """Per-column summary used by prompts and the notebook renderer."""
+        summary: dict[str, dict[str, Any]] = {}
+        for name, col in self._columns.items():
+            info: dict[str, Any] = {
+                "dtype": col.dtype,
+                "nulls": col.null_count(),
+                "distinct": col.nunique(),
+            }
+            if col.is_numeric:
+                info.update({"min": col.min(), "max": col.max(), "mean": col.mean()})
+            else:
+                counts = col.value_counts()
+                if counts:
+                    top = max(counts.items(), key=lambda item: item[1])
+                    info.update({"top": top[0], "top_count": top[1]})
+            summary[name] = info
+        return summary
+
+
+def concat_rows(tables: Iterable[DataTable], name: str = "table") -> DataTable:
+    """Concatenate tables that share the same schema, preserving row order."""
+    tables = list(tables)
+    if not tables:
+        raise SchemaError("concat_rows() requires at least one table")
+    schema = tables[0].columns
+    for table in tables[1:]:
+        if table.columns != schema:
+            raise SchemaError(f"schema mismatch: {table.columns} vs {schema}")
+    merged: dict[str, list[Any]] = {col: [] for col in schema}
+    for table in tables:
+        data = table.to_columns()
+        for col in schema:
+            merged[col].extend(data[col])
+    return DataTable(merged, name=name)
+
+
+def infer_schema(records: Sequence[Mapping[str, Any]]) -> dict[str, str]:
+    """Infer a ``column -> dtype`` schema from row dictionaries."""
+    columns: dict[str, list[Any]] = {}
+    for record in records:
+        for key, value in record.items():
+            columns.setdefault(key, []).append(value)
+    return {key: infer_dtype(values) for key, values in columns.items()}

@@ -1,0 +1,23 @@
+"""Synthetic stand-ins for the paper's three Kaggle datasets."""
+
+from .flights import generate_flights
+from .netflix import generate_netflix
+from .playstore import generate_playstore
+from .registry import (
+    DatasetInfo,
+    dataset_info,
+    dataset_names,
+    dataset_schema_description,
+    load_dataset,
+)
+
+__all__ = [
+    "DatasetInfo",
+    "dataset_info",
+    "dataset_names",
+    "dataset_schema_description",
+    "generate_flights",
+    "generate_netflix",
+    "generate_playstore",
+    "load_dataset",
+]

@@ -1,0 +1,90 @@
+"""Synthetic US flight-delays dataset.
+
+Stands in for the Kaggle "2015 Flight Delays" dataset (5.8M rows, 12
+attributes).  The generator produces a laptop-scale sample with the same
+schema and with the structure the benchmark goals probe: summer months have
+more flights but a steady delay rate, weather delays concentrate in winter
+months and specific airlines, and long flights are rarely delayed but when
+they are the cause is disproportionately security/late-aircraft.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe.table import DataTable
+
+SCHEMA = (
+    "flight_id",
+    "month",
+    "day_of_week",
+    "airline",
+    "origin_airport",
+    "destination_airport",
+    "distance",
+    "scheduled_departure",
+    "departure_delay",
+    "arrival_delay",
+    "delay_reason",
+    "cancelled",
+)
+
+_AIRLINES = ("AA", "DL", "UA", "WN", "B6", "AS", "NK", "F9", "HA", "VX")
+_AIRPORTS = ("ATL", "ORD", "DFW", "DEN", "LAX", "SFO", "PHX", "LAS", "IAH", "SEA", "BOS", "JFK")
+_REASONS = ("none", "weather", "carrier", "late_aircraft", "security", "nas")
+
+
+def _month_probability() -> np.ndarray:
+    # Roughly a third of flights fall in the summer months (June-August).
+    weights = np.array([0.07, 0.065, 0.075, 0.075, 0.08, 0.11, 0.12, 0.11, 0.08, 0.08, 0.07, 0.065])
+    return weights / weights.sum()
+
+
+def _delay_reason(rng: np.random.Generator, month: int, distance: float) -> str:
+    if rng.random() > 0.28:
+        return "none"
+    if distance > 2000:
+        # Long flights: rarely delayed, but security / late aircraft dominate.
+        return str(rng.choice(["security", "late_aircraft", "carrier"], p=[0.45, 0.35, 0.20]))
+    if month in (12, 1, 2):
+        return str(rng.choice(["weather", "carrier", "nas", "late_aircraft"], p=[0.5, 0.2, 0.15, 0.15]))
+    return str(rng.choice(["carrier", "late_aircraft", "nas", "weather"], p=[0.35, 0.3, 0.2, 0.15]))
+
+
+def generate_flights(num_rows: int = 3000, seed: int = 11) -> DataTable:
+    """Generate the synthetic flight-delays table (default 3,000 rows)."""
+    rng = np.random.default_rng(seed)
+    month_probabilities = _month_probability()
+
+    records = []
+    for index in range(num_rows):
+        month = int(rng.choice(np.arange(1, 13), p=month_probabilities))
+        airline = str(rng.choice(_AIRLINES))
+        origin = str(rng.choice(_AIRPORTS))
+        destination = str(rng.choice([a for a in _AIRPORTS if a != origin]))
+        distance = float(rng.gamma(shape=2.2, scale=420))
+        distance = round(min(distance, 4200), 0)
+        reason = _delay_reason(rng, month, distance)
+        if reason == "none":
+            departure_delay = int(max(-10, rng.normal(-2, 6)))
+        else:
+            departure_delay = int(abs(rng.normal(35, 30))) + 15
+        arrival_delay = departure_delay + int(rng.normal(0, 8))
+        cancelled = 1 if (reason == "weather" and rng.random() < 0.08) else 0
+        records.append(
+            {
+                "flight_id": index + 1,
+                "month": month,
+                "day_of_week": int(rng.integers(1, 8)),
+                "airline": airline,
+                "origin_airport": origin,
+                "destination_airport": destination,
+                "distance": distance,
+                "scheduled_departure": int(rng.integers(0, 2400)),
+                "departure_delay": departure_delay,
+                "arrival_delay": arrival_delay,
+                "delay_reason": reason,
+                "cancelled": cancelled,
+            }
+        )
+    return DataTable.from_records(records, name="flights")

@@ -1,0 +1,96 @@
+"""Synthetic Google Play Store apps dataset.
+
+Stands in for the Kaggle "Google Play Store Apps" dataset (10K rows, 11
+attributes).  Marginals are chosen so the benchmark goals have discoverable
+answers: apps with at least 1M installs are overwhelmingly free, highly
+rated and target recent Android versions; price distributions differ sharply
+between categories; a handful of categories dominate the store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe.table import DataTable
+
+SCHEMA = (
+    "app_id",
+    "app_name",
+    "category",
+    "rating",
+    "reviews",
+    "size_mb",
+    "installs",
+    "price",
+    "content_rating",
+    "genres",
+    "android_version",
+)
+
+_CATEGORIES = (
+    ("FAMILY", 0.19),
+    ("GAME", 0.12),
+    ("TOOLS", 0.09),
+    ("PRODUCTIVITY", 0.07),
+    ("MEDICAL", 0.06),
+    ("COMMUNICATION", 0.06),
+    ("FINANCE", 0.06),
+    ("SPORTS", 0.05),
+    ("PHOTOGRAPHY", 0.05),
+    ("LIFESTYLE", 0.05),
+    ("BUSINESS", 0.05),
+    ("ART_AND_DESIGN", 0.04),
+    ("EDUCATION", 0.04),
+    ("SOCIAL", 0.04),
+    ("WEATHER", 0.03),
+)
+_CONTENT = ("Everyone", "Teen", "Mature 17+", "Everyone 10+")
+_ANDROID = ("4.0 and up", "4.1 and up", "4.4 and up", "5.0 and up", "6.0 and up", "Varies")
+_INSTALL_BUCKETS = (1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000)
+
+
+def _price(rng: np.random.Generator, category: str) -> float:
+    if category in ("MEDICAL", "FINANCE", "PRODUCTIVITY") and rng.random() < 0.3:
+        return round(float(rng.choice([0.99, 1.99, 2.99, 4.99, 9.99, 14.99])), 2)
+    if rng.random() < 0.07:
+        return round(float(rng.choice([0.99, 1.99, 2.99, 4.99])), 2)
+    return 0.0
+
+
+def generate_playstore(num_rows: int = 2500, seed: int = 13) -> DataTable:
+    """Generate the synthetic Play Store apps table (default 2,500 rows)."""
+    rng = np.random.default_rng(seed)
+    categories = [name for name, _ in _CATEGORIES]
+    category_probabilities = np.array([weight for _, weight in _CATEGORIES])
+    category_probabilities = category_probabilities / category_probabilities.sum()
+
+    records = []
+    for index in range(num_rows):
+        category = str(rng.choice(categories, p=category_probabilities))
+        price = _price(rng, category)
+        installs = int(rng.choice(_INSTALL_BUCKETS, p=[0.18, 0.24, 0.26, 0.18, 0.10, 0.04]))
+        # Popular apps tend to be free, highly rated and compatible with Android 4+.
+        if installs >= 1_000_000:
+            price = 0.0 if rng.random() < 0.95 else price
+            rating = round(float(np.clip(rng.normal(4.35, 0.25), 2.5, 5.0)), 1)
+            android = str(rng.choice(_ANDROID[:3], p=[0.5, 0.3, 0.2]))
+        else:
+            rating = round(float(np.clip(rng.normal(4.0, 0.5), 1.0, 5.0)), 1)
+            android = str(rng.choice(_ANDROID))
+        reviews = int(installs * abs(rng.normal(0.02, 0.015))) + 1
+        records.append(
+            {
+                "app_id": index + 1,
+                "app_name": f"App {index + 1}",
+                "category": category,
+                "rating": rating,
+                "reviews": reviews,
+                "size_mb": round(float(rng.uniform(2, 150)), 1),
+                "installs": installs,
+                "price": price,
+                "content_rating": str(rng.choice(_CONTENT, p=[0.7, 0.15, 0.08, 0.07])),
+                "genres": category.title().replace("_", " "),
+                "android_version": android,
+            }
+        )
+    return DataTable.from_records(records, name="playstore")

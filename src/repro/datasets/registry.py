@@ -1,0 +1,84 @@
+"""Dataset registry: name-based access to the three benchmark datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dataframe.table import DataTable
+
+from .flights import generate_flights
+from .netflix import generate_netflix
+from .playstore import generate_playstore
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Metadata about a registered benchmark dataset."""
+
+    name: str
+    description: str
+    generator: Callable[..., DataTable]
+    default_rows: int
+
+
+_REGISTRY: dict[str, DatasetInfo] = {
+    "netflix": DatasetInfo(
+        name="netflix",
+        description="Netflix Movies and TV Shows (synthetic stand-in for Kaggle netflix-shows)",
+        generator=generate_netflix,
+        default_rows=2000,
+    ),
+    "flights": DatasetInfo(
+        name="flights",
+        description="US flight delays (synthetic stand-in for Kaggle flight-delays)",
+        generator=generate_flights,
+        default_rows=3000,
+    ),
+    "playstore": DatasetInfo(
+        name="playstore",
+        description="Google Play Store apps (synthetic stand-in for Kaggle google-play-store-apps)",
+        generator=generate_playstore,
+        default_rows=2500,
+    ),
+}
+
+#: Cache of generated datasets keyed by (name, rows, seed).
+_CACHE: dict[tuple[str, int, int], DataTable] = {}
+
+
+def dataset_names() -> list[str]:
+    """Names of the registered benchmark datasets."""
+    return list(_REGISTRY)
+
+
+def dataset_info(name: str) -> DatasetInfo:
+    """Metadata for dataset *name*."""
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown dataset {name!r}; available: {dataset_names()}")
+    return _REGISTRY[key]
+
+
+def load_dataset(name: str, num_rows: int | None = None, seed: int | None = None) -> DataTable:
+    """Generate (or fetch from cache) one of the benchmark datasets."""
+    info = dataset_info(name)
+    rows = num_rows if num_rows is not None else info.default_rows
+    actual_seed = seed if seed is not None else 0
+    cache_key = (info.name, rows, actual_seed)
+    if cache_key not in _CACHE:
+        kwargs = {"num_rows": rows}
+        if seed is not None:
+            kwargs["seed"] = seed
+        _CACHE[cache_key] = info.generator(**kwargs)
+    return _CACHE[cache_key]
+
+
+def dataset_schema_description(name: str, sample_rows: int = 5) -> str:
+    """Schema plus a small sample, formatted for LLM prompts (Section 6)."""
+    table = load_dataset(name)
+    lines = [f"Dataset: {name}", "Schema: " + ", ".join(table.columns)]
+    lines.append("Sample rows:")
+    for record in table.head(sample_rows).rows():
+        lines.append(", ".join(str(record[c]) for c in table.columns))
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Episodic MDP environment for automated data exploration.
+
+Implements the MDP of Section 5.1: states are the current view of the
+ongoing exploration session, actions are parametric query operations (or
+back), the transition function executes the operation, and the reward is
+supplied by a pluggable reward strategy (the generic ATENA reward for the
+goal-agnostic baseline; the bi-objective CDRL reward for LINX).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional, Protocol
+
+import numpy as np
+
+from repro.dataframe.table import DataTable
+
+from .action_space import ActionChoice, ActionSpace
+from .executor import ExecutionError, QueryExecutor
+from .operations import BackOperation, Operation
+from .reward import GenericExplorationReward, GenericRewardConfig
+from .session import ExplorationSession, SessionNode
+
+
+class RewardStrategy(Protocol):
+    """Pluggable per-step / end-of-episode reward computation."""
+
+    def on_step(
+        self,
+        session: ExplorationSession,
+        node: Optional[SessionNode],
+        operation: Operation,
+        valid: bool,
+    ) -> float:
+        """Reward granted immediately after the agent's step."""
+
+    def on_episode_end(self, session: ExplorationSession) -> float:
+        """Extra reward distributed at the end of the episode (may be 0)."""
+
+
+class GenericRewardStrategy:
+    """The goal-agnostic ATENA reward: generic exploration reward only."""
+
+    def __init__(self, config: GenericRewardConfig | None = None):
+        self.reward = GenericExplorationReward(config)
+
+    def on_step(
+        self,
+        session: ExplorationSession,
+        node: Optional[SessionNode],
+        operation: Operation,
+        valid: bool,
+    ) -> float:
+        if not valid:
+            return self.reward.config.invalid_action_penalty
+        if node is None:
+            return self.reward.config.back_action_reward
+        return self.reward.step_reward(session, node)
+
+    def on_episode_end(self, session: ExplorationSession) -> float:
+        return 0.0
+
+
+@dataclass
+class StepResult:
+    """The observable outcome of one environment step."""
+
+    observation: np.ndarray
+    reward: float
+    done: bool
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+class ExplorationEnvironment:
+    """Episodic environment in which an agent builds an exploration session.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset ``D`` to explore.
+    episode_length:
+        Number of agent steps per episode (``N`` in the paper; sessions in
+        the reference implementation are ~6-8 operations).
+    reward_strategy:
+        Computes step and end-of-episode rewards.  Defaults to the generic
+        ATENA reward.
+    """
+
+    def __init__(
+        self,
+        dataset: DataTable,
+        episode_length: int = 6,
+        reward_strategy: RewardStrategy | None = None,
+        action_space: ActionSpace | None = None,
+    ):
+        if episode_length < 1:
+            raise ValueError("episode_length must be positive")
+        self.dataset = dataset
+        self.episode_length = episode_length
+        self.action_space = action_space or ActionSpace(dataset)
+        self.reward_strategy: RewardStrategy = reward_strategy or GenericRewardStrategy()
+        self.executor = QueryExecutor()
+        self.session: ExplorationSession = ExplorationSession(dataset)
+        self._step_count = 0
+
+    # -- observation ---------------------------------------------------------------------
+    def observation_size(self) -> int:
+        """Length of the observation vector (fixed for a given dataset)."""
+        return 4 + 3 * len(self.dataset.columns)
+
+    def observe(self) -> np.ndarray:
+        """Featurise the current state ``S_i`` (the current view and progress)."""
+        view = self.session.current.view
+        total_rows = max(1, len(self.dataset))
+        features: list[float] = [
+            math.log1p(len(view)) / math.log1p(total_rows),
+            len(view.columns) / max(1, len(self.dataset.columns)),
+            self.session.current.depth() / max(1, self.episode_length),
+            self._step_count / self.episode_length,
+        ]
+        for column in self.dataset.columns:
+            if column in view:
+                col = view.column(column)
+                rows = max(1, len(view))
+                features.extend(
+                    [1.0, col.nunique() / rows, col.null_count() / rows]
+                )
+            else:
+                features.extend([0.0, 0.0, 0.0])
+        return np.asarray(features, dtype=np.float64)
+
+    # -- episode control -----------------------------------------------------------------
+    def reset(self) -> np.ndarray:
+        """Start a new episode and return the initial observation."""
+        self.session = ExplorationSession(self.dataset)
+        self._step_count = 0
+        return self.observe()
+
+    @property
+    def steps_remaining(self) -> int:
+        return self.episode_length - self._step_count
+
+    def step(self, choice: ActionChoice) -> StepResult:
+        """Execute the agent's factored action choice and return the outcome."""
+        if self._step_count >= self.episode_length:
+            raise RuntimeError("episode already finished; call reset()")
+        operation = self.action_space.decode(choice)
+        self._step_count += 1
+        node: Optional[SessionNode] = None
+        valid = True
+        if isinstance(operation, BackOperation):
+            self.session.go_back(operation.steps)
+        else:
+            try:
+                view = self.executor.execute(self.session.current.view, operation)
+            except ExecutionError:
+                valid = False
+                # An invalid action consumes the step but adds no node.
+                self.session._steps += 1  # keep the step counter consistent
+            else:
+                node = self.session.add_operation(operation, view)
+        reward = self.reward_strategy.on_step(self.session, node, operation, valid)
+        done = self._step_count >= self.episode_length
+        info: dict[str, Any] = {"operation": operation, "valid": valid}
+        if done:
+            terminal_bonus = self.reward_strategy.on_episode_end(self.session)
+            reward += terminal_bonus
+            info["terminal_bonus"] = terminal_bonus
+            info["session"] = self.session
+        return StepResult(self.observe(), reward, done, info)
+
+    # -- convenience ----------------------------------------------------------------------
+    def rollout(self, choices: list[ActionChoice]) -> tuple[ExplorationSession, float]:
+        """Run a full episode from a list of pre-computed choices; returns (session, return)."""
+        self.reset()
+        total = 0.0
+        for choice in choices[: self.episode_length]:
+            result = self.step(choice)
+            total += result.reward
+            if result.done:
+                break
+        return self.session, total

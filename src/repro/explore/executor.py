@@ -1,0 +1,68 @@
+"""Execution of parametric query operations against :class:`DataTable` views."""
+
+from __future__ import annotations
+
+from repro.dataframe.errors import DataFrameError
+from repro.dataframe.expressions import Predicate
+from repro.dataframe.table import DataTable
+
+from .operations import (
+    FilterOperation,
+    GroupAggOperation,
+    Operation,
+    RootOperation,
+)
+
+
+class ExecutionError(Exception):
+    """An operation could not be executed against the given view."""
+
+
+class QueryExecutor:
+    """Executes filter and group-and-aggregate operations on table views.
+
+    The executor is deliberately forgiving about group-by operations applied
+    to aggregated views (the agent may group an already-grouped result): when
+    the requested columns are missing it raises :class:`ExecutionError`, which
+    the environment translates into an invalid-action penalty.
+    """
+
+    def execute(self, view: DataTable, operation: Operation) -> DataTable:
+        """Execute *operation* on *view*, returning the result view."""
+        if isinstance(operation, RootOperation):
+            return view
+        if isinstance(operation, FilterOperation):
+            return self._execute_filter(view, operation)
+        if isinstance(operation, GroupAggOperation):
+            return self._execute_group(view, operation)
+        raise ExecutionError(f"cannot execute operation of kind {operation.kind!r}")
+
+    def _execute_filter(self, view: DataTable, operation: FilterOperation) -> DataTable:
+        if operation.attr not in view:
+            raise ExecutionError(
+                f"filter attribute {operation.attr!r} not in view columns {view.columns}"
+            )
+        try:
+            predicate = Predicate(operation.attr, operation.op, operation.term)
+            return view.filter(predicate)
+        except DataFrameError as exc:
+            raise ExecutionError(str(exc)) from exc
+
+    def _execute_group(self, view: DataTable, operation: GroupAggOperation) -> DataTable:
+        if operation.group_attr not in view:
+            raise ExecutionError(
+                f"group attribute {operation.group_attr!r} not in view columns {view.columns}"
+            )
+        agg_attr = operation.agg_attr if operation.agg_attr in view else operation.group_attr
+        try:
+            return view.groupby_agg(operation.group_attr, operation.agg_func, agg_attr)
+        except DataFrameError as exc:
+            raise ExecutionError(str(exc)) from exc
+
+    def can_execute(self, view: DataTable, operation: Operation) -> bool:
+        """True when :meth:`execute` would succeed (used to mask invalid actions)."""
+        try:
+            self.execute(view, operation)
+        except ExecutionError:
+            return False
+        return True

@@ -1,0 +1,151 @@
+"""Interestingness measures for individual query operations.
+
+Following ATENA (and Section 5.1 of the LINX paper), the generic exploration
+reward scores each query by an interestingness measure:
+
+* **filter operations** — the Kullback–Leibler divergence between the value
+  distribution of each column before and after the filter, averaged over
+  columns: a filter that reveals a subset with markedly different
+  characteristics scores high;
+* **group-and-aggregate operations** — a *conciseness* measure [28]: compact
+  result sets whose aggregate values are informative (neither a single group
+  nor an explosion of near-unique groups) score high.
+
+All scores are normalised to ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.dataframe.column import Column
+from repro.dataframe.table import DataTable
+
+#: Smoothing constant for empirical distributions (avoids log(0)).
+_SMOOTHING = 1e-9
+
+#: Numeric columns are discretised into this many equi-width bins.
+_NUMERIC_BINS = 10
+
+
+def _numeric_histogram(column: Column, lo: float, hi: float) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    width = (hi - lo) or 1.0
+    for value in column.non_null():
+        bucket = int((float(value) - lo) / width * _NUMERIC_BINS)
+        bucket = min(max(bucket, 0), _NUMERIC_BINS - 1)
+        counts[bucket] = counts.get(bucket, 0) + 1
+    return counts
+
+
+def _categorical_histogram(column: Column) -> dict[object, int]:
+    return column.value_counts()
+
+
+def _normalise(counts: Mapping[object, int], support: list[object]) -> list[float]:
+    total = sum(counts.get(key, 0) for key in support) + _SMOOTHING * len(support)
+    return [(counts.get(key, 0) + _SMOOTHING) / total for key in support]
+
+
+def kl_divergence(p: list[float], q: list[float]) -> float:
+    """``KL(p || q)`` in nats for two discrete distributions over the same support."""
+    if len(p) != len(q):
+        raise ValueError("distributions must share the same support")
+    total = 0.0
+    for pi, qi in zip(p, q):
+        if pi <= 0:
+            continue
+        total += pi * math.log(pi / max(qi, _SMOOTHING))
+    return total
+
+
+def column_kl(before: Column, after: Column) -> float:
+    """KL divergence of one column's distribution after filtering vs before."""
+    if len(after) == 0 or len(before) == 0:
+        return 0.0
+    if before.is_numeric:
+        lo = float(before.min()) if before.min() is not None else 0.0
+        hi = float(before.max()) if before.max() is not None else 1.0
+        support = list(range(_NUMERIC_BINS))
+        counts_before = _numeric_histogram(before, lo, hi)
+        counts_after = _numeric_histogram(after, lo, hi)
+    else:
+        counts_before = _categorical_histogram(before)
+        counts_after = _categorical_histogram(after)
+        support = list(counts_before)
+        if not support:
+            return 0.0
+    p = _normalise(counts_after, support)
+    q = _normalise(counts_before, support)
+    return kl_divergence(p, q)
+
+
+def filter_interestingness(before: DataTable, after: DataTable) -> float:
+    """Average column-wise KL divergence, squashed to [0, 1].
+
+    Degenerate filters (empty results or no change at all) score zero, which
+    discourages the agent from filtering everything away.
+    """
+    if len(after) == 0 or len(before) == 0:
+        return 0.0
+    if len(after) == len(before):
+        return 0.0
+    shared = [c for c in after.columns if c in before.columns]
+    if not shared:
+        return 0.0
+    divergences = [column_kl(before.column(c), after.column(c)) for c in shared]
+    mean_kl = sum(divergences) / len(divergences)
+    return 1.0 - math.exp(-mean_kl)
+
+
+def conciseness(result: DataTable) -> float:
+    """Conciseness of a group-and-aggregate result, in [0, 1].
+
+    Based on the interestingness survey [28]: a grouped view is useful when
+    it has a handful of groups (2-15) and the aggregate column shows real
+    variation across them.  One-group results and near-unique groupings both
+    score low; variation is measured by the normalised entropy of the
+    aggregate values' shares.
+    """
+    n_groups = len(result)
+    if n_groups <= 1:
+        return 0.0
+    # Size component: peak around 2-15 groups, decaying beyond.
+    if n_groups <= 15:
+        size_score = 1.0
+    else:
+        size_score = max(0.0, 1.0 - (n_groups - 15) / 50.0)
+    # Variation component over the aggregate (last) column.
+    agg_column = result.column(result.columns[-1])
+    if not agg_column.is_numeric:
+        return 0.5 * size_score
+    values = [float(v) for v in agg_column.non_null() if float(v) >= 0]
+    total = sum(values)
+    if total <= 0 or len(values) <= 1:
+        return 0.3 * size_score
+    shares = [v / total for v in values if v > 0]
+    entropy = -sum(s * math.log(s) for s in shares)
+    max_entropy = math.log(len(values))
+    balance = entropy / max_entropy if max_entropy > 0 else 0.0
+    # Neither perfectly uniform (balance 1.0, nothing stands out) nor fully
+    # concentrated (balance 0.0, a single dominant group) is ideal.
+    variation_score = 1.0 - abs(balance - 0.6) / 0.6
+    variation_score = max(0.0, min(1.0, variation_score))
+    return size_score * (0.4 + 0.6 * variation_score)
+
+
+def group_interestingness(result: DataTable) -> float:
+    """Interestingness of a group-and-aggregate operation (alias of conciseness)."""
+    return conciseness(result)
+
+
+def operation_interestingness(
+    kind: str, parent_view: DataTable, result_view: DataTable
+) -> float:
+    """Dispatch on operation kind: KL for filters, conciseness for group-bys."""
+    if kind == "F":
+        return filter_interestingness(parent_view, result_view)
+    if kind == "G":
+        return group_interestingness(result_view)
+    return 0.0

@@ -1,0 +1,168 @@
+"""Parametric query operations of the exploration model.
+
+Following Section 3 of the paper, an exploration session is built from two
+parametric operation types applied to the result of a previous operation:
+
+* ``[F, attr, op, term]`` — filter the current view,
+* ``[G, g_attr, agg_func, agg_attr]`` — group by ``g_attr`` and aggregate
+  ``agg_attr`` with ``agg_func``.
+
+The agent may also emit a *back* action to return to an earlier view, and the
+root of the exploration tree represents the raw dataset.  Operations are
+immutable value objects; ``signature()`` returns the positional field list
+LDX operation patterns match against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.dataframe.aggregates import canonical_agg
+from repro.dataframe.expressions import canonical_operator
+
+#: Operation kind codes used in LDX patterns and signatures.
+KIND_ROOT = "ROOT"
+KIND_FILTER = "F"
+KIND_GROUP = "G"
+KIND_BACK = "B"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """Base class for exploration operations."""
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+    def signature(self) -> tuple[str, ...]:
+        """Positional field list used by LDX patterns (kind first)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-liner used in notebook rendering."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RootOperation(Operation):
+    """The implicit root of an exploration tree: the unmodified dataset."""
+
+    dataset_name: str = "dataset"
+
+    @property
+    def kind(self) -> str:
+        return KIND_ROOT
+
+    def signature(self) -> tuple[str, ...]:
+        return (KIND_ROOT,)
+
+    def describe(self) -> str:
+        return f"Load dataset {self.dataset_name!r}"
+
+
+@dataclass(frozen=True)
+class FilterOperation(Operation):
+    """``[F, attr, op, term]`` — keep rows where ``attr <op> term``."""
+
+    attr: str
+    op: str
+    term: Any
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "op", canonical_operator(self.op))
+
+    @property
+    def kind(self) -> str:
+        return KIND_FILTER
+
+    def signature(self) -> tuple[str, ...]:
+        return (KIND_FILTER, str(self.attr), str(self.op), str(self.term))
+
+    def describe(self) -> str:
+        symbol = {
+            "eq": "=",
+            "neq": "!=",
+            "gt": ">",
+            "ge": ">=",
+            "lt": "<",
+            "le": "<=",
+            "contains": "contains",
+            "startswith": "starts with",
+            "endswith": "ends with",
+        }[self.op]
+        return f"FILTER {self.attr} {symbol} {self.term}"
+
+
+@dataclass(frozen=True)
+class GroupAggOperation(Operation):
+    """``[G, g_attr, agg_func, agg_attr]`` — group and aggregate."""
+
+    group_attr: str
+    agg_func: str
+    agg_attr: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "agg_func", canonical_agg(self.agg_func))
+
+    @property
+    def kind(self) -> str:
+        return KIND_GROUP
+
+    def signature(self) -> tuple[str, ...]:
+        return (KIND_GROUP, str(self.group_attr), str(self.agg_func), str(self.agg_attr))
+
+    def describe(self) -> str:
+        return f"GROUP-BY {self.group_attr}, {self.agg_func.upper()}({self.agg_attr})"
+
+
+@dataclass(frozen=True)
+class BackOperation(Operation):
+    """Return to a previous view; not materialised as a tree node.
+
+    ``steps`` indicates how many levels to move up from the current node
+    (1 = parent of the current view).
+    """
+
+    steps: int = 1
+
+    @property
+    def kind(self) -> str:
+        return KIND_BACK
+
+    def signature(self) -> tuple[str, ...]:
+        return (KIND_BACK, str(self.steps))
+
+    def describe(self) -> str:
+        return f"BACK {self.steps}"
+
+
+def operation_from_signature(fields: Sequence[str]) -> Operation:
+    """Reconstruct an operation from its positional signature.
+
+    Used when converting LDX minimal trees or PyLDX templates into concrete
+    operations for metric computation.
+    """
+    if not fields:
+        raise ValueError("empty operation signature")
+    kind = str(fields[0]).upper()
+    if kind == KIND_ROOT:
+        return RootOperation()
+    if kind == KIND_FILTER:
+        if len(fields) != 4:
+            raise ValueError(f"filter signature needs 4 fields, got {list(fields)}")
+        return FilterOperation(attr=fields[1], op=fields[2], term=fields[3])
+    if kind == KIND_GROUP:
+        if len(fields) != 4:
+            raise ValueError(f"group signature needs 4 fields, got {list(fields)}")
+        return GroupAggOperation(group_attr=fields[1], agg_func=fields[2], agg_attr=fields[3])
+    if kind == KIND_BACK:
+        steps = int(fields[1]) if len(fields) > 1 else 1
+        return BackOperation(steps=steps)
+    raise ValueError(f"unknown operation kind {fields[0]!r}")
+
+
+def is_query_operation(operation: Operation) -> bool:
+    """True for operations that materialise a new view (filter / group-agg)."""
+    return operation.kind in (KIND_FILTER, KIND_GROUP)

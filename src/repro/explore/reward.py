@@ -1,0 +1,79 @@
+"""The generic (goal-agnostic) exploration reward ``R_gen``.
+
+Following ATENA [6] and Section 5.1 of the LINX paper, the generic reward of
+a step is a weighted sum of the interestingness of the session's queries and
+the diversity of the newest query with respect to all previous queries::
+
+    R_gen(S_i, a) = mu * sum_{j<=i} Interestingness(q_j) + lambda * Diversity(S_i)
+
+Interestingness uses KL divergence for filters and conciseness for group-bys;
+diversity is the minimal result distance to any previous query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .diversity import session_diversity
+from .interestingness import operation_interestingness
+from .operations import is_query_operation
+from .session import ExplorationSession, SessionNode
+
+
+@dataclass(frozen=True)
+class GenericRewardConfig:
+    """Weights of the generic exploration reward."""
+
+    interestingness_weight: float = 1.0  # mu
+    diversity_weight: float = 0.5  # lambda
+    invalid_action_penalty: float = -1.0
+    empty_result_penalty: float = -0.5
+    back_action_reward: float = 0.0
+
+
+class GenericExplorationReward:
+    """Computes the ATENA-style generic exploration reward for session steps."""
+
+    def __init__(self, config: GenericRewardConfig | None = None):
+        self.config = config or GenericRewardConfig()
+
+    def node_interestingness(self, node: SessionNode) -> float:
+        """Interestingness of a single executed query node."""
+        if node.is_root or node.parent is None:
+            return 0.0
+        return operation_interestingness(
+            node.operation.kind, node.parent.view, node.view
+        )
+
+    def step_reward(self, session: ExplorationSession, node: SessionNode) -> float:
+        """Reward for the step that produced *node* (the newest query)."""
+        if not is_query_operation(node.operation):
+            return self.config.back_action_reward
+        if len(node.view) == 0:
+            return self.config.empty_result_penalty
+        cumulative_interest = sum(
+            self.node_interestingness(existing) for existing in session.query_nodes()
+        )
+        previous_views = [n.view for n in session.query_nodes() if n is not node]
+        diversity = session_diversity(node.view, previous_views)
+        return (
+            self.config.interestingness_weight * cumulative_interest / max(1, session.num_queries())
+            + self.config.diversity_weight * diversity
+        )
+
+    def session_score(self, session: ExplorationSession) -> float:
+        """Utility score ``U(T_D)`` of a full session: mean interestingness + mean diversity."""
+        nodes = session.query_nodes()
+        if not nodes:
+            return 0.0
+        interest = sum(self.node_interestingness(node) for node in nodes) / len(nodes)
+        diversity_terms = []
+        seen_views = []
+        for node in nodes:
+            diversity_terms.append(session_diversity(node.view, seen_views))
+            seen_views.append(node.view)
+        diversity = sum(diversity_terms) / len(diversity_terms)
+        return (
+            self.config.interestingness_weight * interest
+            + self.config.diversity_weight * diversity
+        )

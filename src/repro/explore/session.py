@@ -1,0 +1,198 @@
+"""Exploration sessions as trees of executed query operations.
+
+An exploration session over a dataset ``D`` is a tree ``T_D`` (Section 3):
+the root node is the raw dataset, every other node is a query operation
+applied to its parent's result, and the execution order is the pre-order
+traversal of the tree.  Each node stores both the operation and the
+materialised result view so rewards and notebooks can inspect them without
+re-execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.dataframe.table import DataTable
+from repro.tregex.tree import TreeNode
+
+from .operations import (
+    BackOperation,
+    FilterOperation,
+    GroupAggOperation,
+    Operation,
+    RootOperation,
+    is_query_operation,
+)
+
+
+@dataclass
+class SessionNode:
+    """A single node of an exploration session: an operation and its result view."""
+
+    operation: Operation
+    view: DataTable
+    parent: Optional["SessionNode"] = None
+    children: list["SessionNode"] = field(default_factory=list)
+    step_index: int = 0
+
+    def signature(self) -> tuple[str, ...]:
+        """Positional signature used by LDX verification."""
+        return self.operation.signature()
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def depth(self) -> int:
+        depth = 0
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            depth += 1
+        return depth
+
+    def ancestors(self) -> list["SessionNode"]:
+        result = []
+        node = self.parent
+        while node is not None:
+            result.append(node)
+            node = node.parent
+        return result
+
+    def preorder(self) -> Iterator["SessionNode"]:
+        yield self
+        for child in self.children:
+            yield from child.preorder()
+
+    def __repr__(self) -> str:
+        return f"SessionNode(op={self.operation.describe()!r}, rows={len(self.view)})"
+
+
+class ExplorationSession:
+    """A growing exploration session over a dataset.
+
+    The session tracks the *current node* (the view the next operation will
+    be applied to) so the RL environment can implement filter, group-by and
+    back actions.  Query operations append children; the back operation moves
+    the cursor up the tree without adding a node.
+    """
+
+    def __init__(self, dataset: DataTable, dataset_name: str | None = None):
+        name = dataset_name or dataset.name
+        self.dataset = dataset
+        self.root = SessionNode(operation=RootOperation(dataset_name=name), view=dataset)
+        self.current = self.root
+        self._steps = 0
+        self._operations: list[Operation] = []
+
+    # -- growth ----------------------------------------------------------------------
+    def add_operation(self, operation: Operation, view: DataTable) -> SessionNode:
+        """Attach *operation* (already executed into *view*) under the current node."""
+        if not is_query_operation(operation):
+            raise ValueError(f"only query operations create nodes, got {operation.kind}")
+        self._steps += 1
+        node = SessionNode(
+            operation=operation, view=view, parent=self.current, step_index=self._steps
+        )
+        self.current.children.append(node)
+        self.current = node
+        self._operations.append(operation)
+        return node
+
+    def go_back(self, steps: int = 1) -> SessionNode:
+        """Move the cursor *steps* levels up (clamped at the root); counts as a step."""
+        self._steps += 1
+        node = self.current
+        for _ in range(max(1, steps)):
+            if node.parent is None:
+                break
+            node = node.parent
+        self.current = node
+        self._operations.append(BackOperation(steps=steps))
+        return node
+
+    # -- inspection -------------------------------------------------------------------
+    @property
+    def steps_taken(self) -> int:
+        """Total number of agent steps, including back operations."""
+        return self._steps
+
+    @property
+    def operations(self) -> list[Operation]:
+        """Every action taken, in order (including back operations)."""
+        return list(self._operations)
+
+    def query_nodes(self) -> list[SessionNode]:
+        """All non-root nodes in execution (pre-order) order."""
+        return [node for node in self.root.preorder() if not node.is_root]
+
+    def num_queries(self) -> int:
+        return len(self.query_nodes())
+
+    def views(self) -> list[DataTable]:
+        """Result views of every query node, in execution order."""
+        return [node.view for node in self.query_nodes()]
+
+    # -- conversion -------------------------------------------------------------------
+    def to_tree(self) -> TreeNode:
+        """Convert to a :class:`~repro.tregex.tree.TreeNode` labelled with operations.
+
+        This is the representation consumed by the LDX verification engine.
+        """
+        def convert(node: SessionNode) -> TreeNode:
+            tree_node = TreeNode(node.operation)
+            for child in node.children:
+                tree_node.add_child(convert(child))
+            return tree_node
+
+        return convert(self.root)
+
+    def describe(self) -> str:
+        """Indented text outline of the session (operation + result size per node)."""
+        lines: list[str] = []
+
+        def visit(node: SessionNode, level: int) -> None:
+            lines.append(f"{'  ' * level}{node.operation.describe()} [{len(node.view)} rows]")
+            for child in node.children:
+                visit(child, level + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ExplorationSession(queries={self.num_queries()}, steps={self.steps_taken})"
+
+
+def session_from_operations(
+    dataset: DataTable,
+    operations: list[Operation],
+    executor: "object" = None,
+) -> ExplorationSession:
+    """Replay a flat list of operations (including back ops) into a session.
+
+    The *executor* must provide ``execute(view, operation) -> DataTable``;
+    imported lazily to avoid a circular import with :mod:`repro.explore.executor`.
+    """
+    if executor is None:
+        from .executor import QueryExecutor
+
+        executor = QueryExecutor()
+    session = ExplorationSession(dataset)
+    for operation in operations:
+        if isinstance(operation, BackOperation):
+            session.go_back(operation.steps)
+            continue
+        view = executor.execute(session.current.view, operation)
+        session.add_operation(operation, view)
+    return session
+
+
+__all__ = [
+    "ExplorationSession",
+    "SessionNode",
+    "session_from_operations",
+    "FilterOperation",
+    "GroupAggOperation",
+    "BackOperation",
+]

@@ -1,0 +1,26 @@
+"""Exceptions raised by the LDX language implementation."""
+
+from __future__ import annotations
+
+
+class LdxError(Exception):
+    """Base class for all LDX errors."""
+
+
+class LdxSyntaxError(LdxError):
+    """The LDX query text could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, text: str | None = None):
+        self.line = line
+        self.text = text
+        location = f" (line {line})" if line is not None else ""
+        detail = f": {text!r}" if text else ""
+        super().__init__(f"{message}{location}{detail}")
+
+
+class LdxSemanticError(LdxError):
+    """The query parsed but is semantically invalid (e.g. unknown node reference)."""
+
+
+class LdxVerificationError(LdxError):
+    """The verification engine was used incorrectly (e.g. non-tree session)."""

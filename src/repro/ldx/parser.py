@@ -1,0 +1,141 @@
+"""Parser for LDX query text.
+
+The concrete syntax follows the examples in the paper (Figures 1c and 3 and
+Example 4.1)::
+
+    ROOT CHILDREN <A,B>
+    A LIKE [G,(?<X>.*),.*]
+    B LIKE [F,(?<X>.*),.*]
+
+    BEGIN CHILDREN {A1,A2}
+    A1 LIKE [F,Stars,eq,3] and CHILDREN {B1}
+        B1 LIKE [G,<COL>,<AGG_FUNC>,<AGG_COL>]
+    A2 LIKE [F,Stars,eq,4] and CHILDREN {B2}
+        B2 LIKE [G,<COL>,<AGG_FUNC>,<AGG_COL>]
+
+Each non-empty line specifies one named node.  Clauses on a line are joined
+with ``and``; child/descendant lists may use either ``<...>`` or ``{...}``
+delimiters; indentation is ignored.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .ast import (
+    REL_CHILDREN,
+    REL_DESCENDANTS,
+    LdxQuery,
+    NodeSpec,
+    StructureClause,
+)
+from .errors import LdxSyntaxError
+from .patterns import OperationPattern
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9]*$")
+_CLAUSE_SPLIT_RE = re.compile(r"\s+and\s+", flags=re.IGNORECASE)
+_STRUCTURE_RE = re.compile(
+    r"^(?P<keyword>CHILDREN|DESCENDANTS)\s*(?P<open>[<{])(?P<body>.*)(?P<close>[>}])\s*$",
+    flags=re.IGNORECASE | re.DOTALL,
+)
+_LIKE_RE = re.compile(r"^LIKE\s*(?P<pattern>\[.*\])\s*$", flags=re.IGNORECASE | re.DOTALL)
+
+
+def parse_ldx(text: str) -> LdxQuery:
+    """Parse LDX *text* into an :class:`~repro.ldx.ast.LdxQuery`.
+
+    Raises :class:`LdxSyntaxError` for malformed lines and
+    :class:`~repro.ldx.errors.LdxSemanticError` for dangling node references.
+    """
+    query = LdxQuery(source=text)
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#") or line.startswith("//"):
+            continue
+        query.specs.append(_parse_line(line, line_number))
+    if not query.specs:
+        raise LdxSyntaxError("empty LDX query")
+    query.validate()
+    return query
+
+
+def try_parse_ldx(text: str) -> LdxQuery | None:
+    """Parse LDX text, returning ``None`` instead of raising on any error.
+
+    Used by the evaluation harness: LLM-generated queries may be malformed
+    and must simply score poorly rather than abort the experiment.
+    """
+    try:
+        return parse_ldx(text)
+    except Exception:  # noqa: BLE001 - any malformed output counts as a failure
+        return None
+
+
+def _parse_line(line: str, line_number: int) -> NodeSpec:
+    parts = line.split(None, 1)
+    name = parts[0]
+    if not _NAME_RE.match(name):
+        raise LdxSyntaxError("invalid node name", line=line_number, text=name)
+    spec = NodeSpec(name=name)
+    remainder = parts[1].strip() if len(parts) > 1 else ""
+    if not remainder:
+        return spec
+    for clause_text in _split_clauses(remainder):
+        _parse_clause(spec, clause_text, line_number)
+    return spec
+
+
+def _split_clauses(text: str) -> list[str]:
+    """Split a line's clause list on ``and`` keywords outside brackets."""
+    clauses: list[str] = []
+    depth = 0
+    current: list[str] = []
+    tokens = re.split(r"(\s+and\s+)", text, flags=re.IGNORECASE)
+    for token in tokens:
+        if re.fullmatch(r"\s+and\s+", token, flags=re.IGNORECASE) and depth == 0:
+            if current:
+                clauses.append("".join(current).strip())
+                current = []
+            continue
+        depth += token.count("[") + token.count("(") - token.count("]") - token.count(")")
+        current.append(token)
+    if current:
+        clauses.append("".join(current).strip())
+    return [clause for clause in clauses if clause]
+
+
+def _parse_clause(spec: NodeSpec, clause: str, line_number: int) -> None:
+    structure = _STRUCTURE_RE.match(clause)
+    if structure:
+        keyword = structure.group("keyword").lower()
+        relation = REL_CHILDREN if keyword == "children" else REL_DESCENDANTS
+        named, extra = _parse_node_list(structure.group("body"), line_number)
+        spec.structure.append(StructureClause(relation=relation, named=tuple(named), extra=extra))
+        return
+    like = _LIKE_RE.match(clause)
+    if like:
+        if spec.operation is not None:
+            raise LdxSyntaxError(
+                f"node {spec.name!r} has multiple LIKE clauses", line=line_number, text=clause
+            )
+        spec.operation = OperationPattern.parse(like.group("pattern"))
+        return
+    raise LdxSyntaxError("unrecognised clause", line=line_number, text=clause)
+
+
+def _parse_node_list(body: str, line_number: int) -> tuple[list[str], int]:
+    named: list[str] = []
+    extra = 0
+    for item in body.split(","):
+        token = item.strip()
+        if not token:
+            continue
+        if token == "+":
+            extra += 1
+        elif _NAME_RE.match(token):
+            named.append(token)
+        else:
+            raise LdxSyntaxError("invalid node reference", line=line_number, text=token)
+    if not named and extra == 0:
+        raise LdxSyntaxError("empty node list", line=line_number, text=body)
+    return named, extra

@@ -1,0 +1,137 @@
+"""The end-to-end LINX system: natural-language goal → exploration notebook.
+
+This facade wires the two steps of Section 3 together:
+
+1. **Specification derivation** — the analytical goal and a dataset
+   description are turned into LDX specifications via the chained
+   NL→PyLDX→LDX prompting pipeline (Section 6), using the configured LLM
+   client (offline: the simulated GPT-4 tier).
+2. **Constrained session generation** — the dataset and the derived
+   specifications are handed to the CDRL engine (Section 5), which produces
+   a specification-compliant, high-utility exploration session.
+
+The result is returned as a :class:`LinxOutput` bundling the session, the
+rendered notebook, the derived specifications and extracted insights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bench.generator import generate_benchmark
+from repro.cdrl.agent import CdrlConfig, LinxCdrlAgent
+from repro.dataframe.table import DataTable
+from repro.datasets.registry import load_dataset
+from repro.explore.session import ExplorationSession
+from repro.ldx.ast import LdxQuery
+from repro.ldx.parser import parse_ldx, try_parse_ldx
+from repro.llm.interface import LLMClient
+from repro.llm.mock import gpt4_client
+from repro.nl2ldx.fewshot import SCENARIOS, FewShotBank
+from repro.nl2ldx.pipeline import ChainedPipeline
+from repro.notebook.insights import Insight, extract_insights
+from repro.notebook.render import Notebook, render_notebook
+
+
+@dataclass
+class LinxOutput:
+    """Everything LINX produces for one (dataset, goal) request."""
+
+    goal: str
+    dataset_name: str
+    ldx_text: str
+    query: Optional[LdxQuery]
+    session: ExplorationSession
+    notebook: Notebook
+    insights: list[Insight] = field(default_factory=list)
+    fully_compliant: bool = False
+
+    def markdown(self) -> str:
+        return self.notebook.to_markdown()
+
+
+class Linx:
+    """Language-driven generative system for goal-oriented data exploration.
+
+    Example
+    -------
+    >>> from repro import Linx
+    >>> linx = Linx()
+    >>> output = linx.explore("netflix",
+    ...     "Find a country with different viewing habits than the rest of the world")
+    >>> print(output.markdown())            # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        llm_client: LLMClient | None = None,
+        cdrl_config: CdrlConfig | None = None,
+    ):
+        self.llm_client = llm_client or gpt4_client()
+        self.cdrl_config = cdrl_config or CdrlConfig(episodes=150)
+        # The few-shot bank is built from the benchmark's goal/LDX pairs.
+        self._benchmark = generate_benchmark()
+        self._bank = FewShotBank(self._benchmark)
+        self._pipeline = ChainedPipeline(self.llm_client, self._bank)
+
+    # -- step 1: specification derivation -------------------------------------------------
+    def derive_specifications(self, dataset_name: str, goal: str) -> str:
+        """Derive LDX specification text from the analytical goal (Section 6)."""
+        from repro.bench.generator import BenchmarkInstance
+
+        probe = BenchmarkInstance(
+            instance_id=-1,
+            meta_goal_id=0,
+            meta_goal_name="ad-hoc",
+            dataset=dataset_name,
+            goal=goal,
+            ldx_text="ROOT CHILDREN <A1>\nA1 LIKE [G,.*]",
+        )
+        scenario = SCENARIOS[0]  # use every available example (seen dataset & meta-goal)
+        result = self._pipeline.derive(probe, scenario)
+        return result.ldx_text
+
+    # -- step 2: constrained session generation --------------------------------------------
+    def generate_session(
+        self, dataset: DataTable, ldx_text: str, episodes: Optional[int] = None
+    ):
+        """Generate a compliant exploration session for explicit LDX specifications."""
+        agent = LinxCdrlAgent(dataset, ldx_text, config=self.cdrl_config)
+        return agent.run(episodes=episodes)
+
+    # -- end-to-end ------------------------------------------------------------------------
+    def explore(
+        self,
+        dataset: DataTable | str,
+        goal: str,
+        ldx_text: Optional[str] = None,
+        episodes: Optional[int] = None,
+    ) -> LinxOutput:
+        """Run the full LINX workflow.
+
+        ``dataset`` may be a :class:`DataTable` or the name of a registered
+        benchmark dataset.  Passing ``ldx_text`` skips the derivation step
+        (useful when the user writes LDX manually, as in the ATENA-PRO demo).
+        """
+        table = load_dataset(dataset) if isinstance(dataset, str) else dataset
+        if ldx_text is None:
+            ldx_text = self.derive_specifications(table.name, goal)
+        query = try_parse_ldx(ldx_text)
+        if query is None:
+            # Fall back to a permissive specification so the engine still produces
+            # a useful (if less targeted) session instead of failing outright.
+            ldx_text = "ROOT CHILDREN <A1,A2>\nA1 LIKE [F,.*]\nA2 LIKE [G,.*]"
+            query = parse_ldx(ldx_text)
+        result = self.generate_session(table, ldx_text, episodes=episodes)
+        notebook = render_notebook(result.session, goal=goal)
+        return LinxOutput(
+            goal=goal,
+            dataset_name=table.name,
+            ldx_text=ldx_text,
+            query=query,
+            session=result.session,
+            notebook=notebook,
+            insights=extract_insights(result.session),
+            fully_compliant=result.fully_compliant,
+        )

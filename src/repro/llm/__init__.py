@@ -1,0 +1,35 @@
+"""LLM layer: task interfaces, prompt rendering and the offline simulated clients."""
+
+from .interface import (
+    TASK_NL_TO_LDX,
+    TASK_NL_TO_PANDAS,
+    TASK_PANDAS_TO_LDX,
+    DerivationTask,
+    FewShotExample,
+    LLMClient,
+)
+from .mock import (
+    CHATGPT_PROFILE,
+    GPT4_PROFILE,
+    SimulatedLLM,
+    TierProfile,
+    chatgpt_client,
+    gpt4_client,
+)
+from .prompts import render_prompt
+
+__all__ = [
+    "CHATGPT_PROFILE",
+    "DerivationTask",
+    "FewShotExample",
+    "GPT4_PROFILE",
+    "LLMClient",
+    "SimulatedLLM",
+    "TASK_NL_TO_LDX",
+    "TASK_NL_TO_PANDAS",
+    "TASK_PANDAS_TO_LDX",
+    "TierProfile",
+    "chatgpt_client",
+    "gpt4_client",
+    "render_prompt",
+]

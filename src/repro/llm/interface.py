@@ -1,0 +1,54 @@
+"""Interfaces for the LLM layer.
+
+LINX talks to an LLM twice (NL→PyLDX, PyLDX→LDX) or once (direct NL→LDX for
+the ablation baseline).  The interaction is modelled as a structured
+:class:`DerivationTask`; implementations may additionally consume the
+rendered textual prompt (see :mod:`repro.llm.prompts`).  Offline, the only
+implementation is the simulated LLM in :mod:`repro.llm.mock`; swapping in a
+real API client only requires implementing :class:`LLMClient`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+#: Task kinds.
+TASK_NL_TO_PANDAS = "nl2pandas"
+TASK_PANDAS_TO_LDX = "pandas2ldx"
+TASK_NL_TO_LDX = "nl2ldx"
+
+
+@dataclass(frozen=True)
+class FewShotExample:
+    """One few-shot example: a goal over a dataset with its PyLDX and LDX solutions."""
+
+    goal: str
+    dataset: str
+    schema: tuple[str, ...]
+    pyldx_code: str
+    ldx_text: str
+    explanation: str = ""
+    meta_goal_id: int = 0
+
+
+@dataclass(frozen=True)
+class DerivationTask:
+    """A single LLM call: task kind, few-shot examples and the test input."""
+
+    kind: str
+    examples: tuple[FewShotExample, ...]
+    goal: str = ""
+    dataset: str = ""
+    schema: tuple[str, ...] = field(default_factory=tuple)
+    dataset_sample: str = ""
+    pyldx_code: str = ""  # only for the Pandas-to-LDX stage
+
+
+class LLMClient(Protocol):
+    """Anything that can answer a derivation task with raw text."""
+
+    name: str
+
+    def derive(self, task: DerivationTask) -> str:
+        """Return the model's raw textual answer for *task*."""

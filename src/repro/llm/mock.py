@@ -1,0 +1,269 @@
+"""Offline simulated LLMs.
+
+No network access is available, so GPT-3.5 ("ChatGPT") and GPT-4 are
+simulated as **few-shot retrieval + template-transfer** models:
+
+1. retrieve the few-shot example whose goal is most similar to the test goal
+   (token overlap; the GPT-4 tier additionally grounds on schema mentions);
+2. adapt the retrieved example's solution to the test dataset by re-mapping
+   attribute and term slots onto columns/values mentioned in the test goal
+   (the GPT-4 tier does fuzzy token matching, the ChatGPT tier only exact
+   substrings);
+3. inject deterministic, tier- and task-dependent corruption: direct NL→LDX
+   answers suffer from the unfamiliar-LDX-syntax problem far more often than
+   the chained NL→PyLDX→LDX route, and the ChatGPT tier is noisier than the
+   GPT-4 tier.
+
+The simulation is calibrated to reproduce the *shape* of Table 2 (seen vs
+unseen scenarios, +Pd gains, GPT-4 ≥ ChatGPT), not the exact numbers — see
+DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+
+from repro.ldx.parser import try_parse_ldx
+from repro.nl2ldx.pyldx import ldx_to_pyldx, parse_pyldx, pyldx_to_ldx
+
+from .interface import (
+    TASK_NL_TO_LDX,
+    TASK_NL_TO_PANDAS,
+    TASK_PANDAS_TO_LDX,
+    DerivationTask,
+    FewShotExample,
+)
+
+_WORD_RE = re.compile(r"[a-z0-9_]+")
+
+_STOPWORDS = {
+    "the", "a", "an", "of", "to", "with", "and", "or", "for", "in", "on", "is",
+    "are", "data", "dataset", "please", "we", "i", "you", "your", "task", "need",
+    "would", "like", "can", "as", "part", "analysis", "make", "sure", "that",
+}
+
+
+def _tokens(text: str) -> set[str]:
+    return {t for t in _WORD_RE.findall(text.lower()) if t not in _STOPWORDS}
+
+
+def _stable_hash(*parts: str) -> int:
+    joined = "||".join(parts)
+    return int(hashlib.sha256(joined.encode("utf-8")).hexdigest()[:12], 16)
+
+
+@dataclass(frozen=True)
+class TierProfile:
+    """Capability knobs of one simulated LLM tier."""
+
+    name: str
+    schema_grounding: bool
+    fuzzy_attribute_matching: bool
+    #: Probability of corrupting a direct NL->LDX answer (unfamiliar syntax).
+    direct_ldx_error_rate: float
+    #: Probability of corrupting a PyLDX answer (familiar Python syntax).
+    pyldx_error_rate: float
+    #: Probability of a translation slip in the Pandas->LDX stage.
+    translation_error_rate: float
+
+
+CHATGPT_PROFILE = TierProfile(
+    name="ChatGPT",
+    schema_grounding=False,
+    fuzzy_attribute_matching=False,
+    direct_ldx_error_rate=0.45,
+    pyldx_error_rate=0.12,
+    translation_error_rate=0.05,
+)
+
+GPT4_PROFILE = TierProfile(
+    name="GPT-4",
+    schema_grounding=True,
+    fuzzy_attribute_matching=True,
+    direct_ldx_error_rate=0.28,
+    pyldx_error_rate=0.05,
+    translation_error_rate=0.02,
+)
+
+
+class SimulatedLLM:
+    """A deterministic, offline stand-in for an LLM API client."""
+
+    def __init__(self, profile: TierProfile):
+        self.profile = profile
+        self.name = profile.name
+
+    # -- public API -------------------------------------------------------------------
+    def derive(self, task: DerivationTask) -> str:
+        if task.kind == TASK_PANDAS_TO_LDX:
+            return self._translate_pandas(task)
+        if task.kind in (TASK_NL_TO_PANDAS, TASK_NL_TO_LDX):
+            return self._derive_from_goal(task)
+        raise ValueError(f"unknown task kind {task.kind!r}")
+
+    # -- retrieval + adaptation ---------------------------------------------------------
+    def _similarity(self, goal: str, example: FewShotExample, schema: tuple[str, ...]) -> float:
+        goal_tokens = _tokens(goal)
+        example_tokens = _tokens(example.goal)
+        if not goal_tokens or not example_tokens:
+            return 0.0
+        overlap = len(goal_tokens & example_tokens) / len(goal_tokens | example_tokens)
+        if self.profile.schema_grounding:
+            # GPT-4 tier: reward examples whose solution uses attributes that the
+            # test goal mentions, a crude form of schema linking.
+            mentioned = {c.lower() for c in schema if c.lower() in goal.lower()}
+            used = {t for t in _tokens(example.ldx_text)}
+            if mentioned and mentioned & used:
+                overlap += 0.15
+        return overlap
+
+    def _retrieve(self, task: DerivationTask) -> FewShotExample:
+        if not task.examples:
+            # Zero-shot fallback: a minimal generic exploration specification.
+            return FewShotExample(
+                goal="explore the data",
+                dataset=task.dataset or "data",
+                schema=task.schema,
+                pyldx_code='df = pd.read_csv("data.csv")\nagg = df.groupby(<COL>).agg(<AGG>)',
+                ldx_text="ROOT CHILDREN <A1>\nA1 LIKE [G,.*]",
+            )
+        scored = sorted(
+            task.examples,
+            key=lambda ex: self._similarity(task.goal, ex, task.schema),
+            reverse=True,
+        )
+        return scored[0]
+
+    def _map_attributes(self, ldx_text: str, task: DerivationTask, example: FewShotExample) -> str:
+        """Re-target attribute names of the retrieved solution to the test schema."""
+        goal_lower = task.goal.lower()
+        schema = list(task.schema)
+        mentioned: list[str] = []
+        for column in schema:
+            if column.lower() in goal_lower:
+                mentioned.append(column)
+            elif self.profile.fuzzy_attribute_matching:
+                column_tokens = set(column.lower().replace("_", " ").split())
+                if column_tokens and column_tokens <= _tokens(task.goal):
+                    mentioned.append(column)
+        source_attrs = [
+            attr for attr in _extract_attributes(ldx_text) if attr not in task.schema
+        ]
+        adapted = ldx_text
+        for index, attr in enumerate(source_attrs):
+            if index < len(mentioned):
+                replacement = mentioned[index]
+            elif mentioned:
+                replacement = mentioned[-1]
+            elif schema:
+                # No grounded attribute: fall back to a schema column (weak guess).
+                replacement = schema[min(index + 1, len(schema) - 1)]
+            else:
+                continue
+            adapted = re.sub(rf"(?<=[\[,]){re.escape(attr)}(?=[,\]])", replacement, adapted)
+        # Re-target literal terms mentioned in the goal (quoted values or numbers).
+        terms = re.findall(r"'([^']+)'|\b(\d+(?:\.\d+)?)\b", task.goal)
+        flattened = [a or b for a, b in terms if (a or b)]
+        source_terms = _extract_literal_terms(adapted)
+        for index, term in enumerate(source_terms):
+            if index < len(flattened) and flattened[index] not in task.schema:
+                adapted = adapted.replace(f",{term}]", f",{flattened[index]}]", 1)
+        return adapted
+
+    def _derive_from_goal(self, task: DerivationTask) -> str:
+        example = self._retrieve(task)
+        adapted_ldx = self._map_attributes(example.ldx_text, task, example)
+        seed = _stable_hash(self.name, task.kind, task.goal, task.dataset)
+        if task.kind == TASK_NL_TO_LDX:
+            corrupted = self._maybe_corrupt_ldx(
+                adapted_ldx, seed, self.profile.direct_ldx_error_rate
+            )
+            return corrupted
+        # NL -> PyLDX: render as template code, with a (smaller) corruption chance.
+        pyldx = ldx_to_pyldx(adapted_ldx, dataset_name=task.dataset or "data")
+        if _chance(seed + 1, self.profile.pyldx_error_rate):
+            pyldx = _corrupt_pyldx(pyldx, seed)
+        return pyldx
+
+    # -- Pandas -> LDX translation ---------------------------------------------------------
+    def _translate_pandas(self, task: DerivationTask) -> str:
+        seed = _stable_hash(self.name, task.kind, task.pyldx_code)
+        try:
+            ldx_text = pyldx_to_ldx(parse_pyldx(task.pyldx_code))
+        except Exception:  # noqa: BLE001 - malformed upstream code yields a malformed answer
+            return "ROOT CHILDREN <A1>\nA1 LIKE [G,.*]"
+        if _chance(seed, self.profile.translation_error_rate):
+            ldx_text = self._maybe_corrupt_ldx(ldx_text, seed + 7, 1.0)
+        return ldx_text
+
+    # -- corruption ---------------------------------------------------------------------
+    def _maybe_corrupt_ldx(self, ldx_text: str, seed: int, rate: float) -> str:
+        if not _chance(seed, rate):
+            return ldx_text
+        query = try_parse_ldx(ldx_text)
+        lines = [line for line in ldx_text.splitlines() if line.strip()]
+        mode = seed % 3
+        if mode == 0 and len(lines) > 2:
+            # Forget one specification line entirely.
+            del lines[1 + seed % (len(lines) - 1)]
+            return "\n".join(lines)
+        if mode == 1:
+            # Break the continuity syntax (the typical unfamiliar-LDX failure).
+            return ldx_text.replace("(?<", "(<", 1)
+        if query is not None and query.operational_specs():
+            # Swap an operation kind (G <-> F), producing a plausible but wrong spec.
+            return ldx_text.replace("[G,", "[F,", 1) if "[G," in ldx_text else ldx_text.replace(
+                "[F,", "[G,", 1
+            )
+        return ldx_text
+
+
+def _chance(seed: int, rate: float) -> bool:
+    """Deterministic Bernoulli draw with probability *rate*."""
+    return (seed % 10_000) / 10_000.0 < rate
+
+
+def _corrupt_pyldx(code: str, seed: int) -> str:
+    lines = [line for line in code.splitlines() if line.strip()]
+    if len(lines) <= 2:
+        return code
+    # Drop one operation line (the model "forgot" a step).
+    index = 1 + seed % (len(lines) - 1)
+    del lines[index]
+    return "\n".join(lines)
+
+
+def _extract_attributes(ldx_text: str) -> list[str]:
+    """Attribute-position fields of every operation pattern in the LDX text."""
+    attrs = []
+    for match in re.finditer(r"\[(F|G),([^,\]]+)", ldx_text):
+        field = match.group(2).strip().strip("'\"")
+        if field not in (".*", "*") and not field.startswith("(?<"):
+            attrs.append(field)
+    ordered: list[str] = []
+    for attr in attrs:
+        if attr not in ordered:
+            ordered.append(attr)
+    return ordered
+
+
+def _extract_literal_terms(ldx_text: str) -> list[str]:
+    """Literal term fields of filter patterns (last positional field)."""
+    terms = []
+    for match in re.finditer(r"\[F,[^,\]]+,[^,\]]+,([^,\]]+)\]", ldx_text):
+        field = match.group(1).strip().strip("'\"")
+        if field not in (".*", "*") and not field.startswith("(?<"):
+            terms.append(field)
+    return terms
+
+
+def chatgpt_client() -> SimulatedLLM:
+    """The simulated GPT-3.5 tier."""
+    return SimulatedLLM(CHATGPT_PROFILE)
+
+
+def gpt4_client() -> SimulatedLLM:
+    """The simulated GPT-4 tier."""
+    return SimulatedLLM(GPT4_PROFILE)

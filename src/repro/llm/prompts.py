@@ -1,0 +1,121 @@
+"""Textual prompt construction (Figure 3 and Appendix B.1).
+
+The prompts are not consumed by the offline simulated LLM (which works on the
+structured task), but they are rendered exactly as in the paper so that (a)
+swapping in a real API client requires no pipeline changes and (b) prompt
+structure can be inspected in the examples and tests.
+"""
+
+from __future__ import annotations
+
+from .interface import (
+    TASK_NL_TO_LDX,
+    TASK_NL_TO_PANDAS,
+    TASK_PANDAS_TO_LDX,
+    DerivationTask,
+)
+
+_NL2PANDAS_HEADER = (
+    "PyLDX is an extension to Python pandas used to sketch exploration sessions. "
+    "PyLDX supports the operations: filter, groupby, agg. Parameters that should be "
+    "discovered automatically are written as placeholders like <VALUE>, <COL>, <AGG>.\n"
+    "Here are examples for generating PyLDX code, given a dataset and an analysis goal:"
+)
+
+_PANDAS2LDX_HEADER = (
+    "LDX is a specification language that extends Tregex, a query language for "
+    "tree-structured data. LDX describes the structure of an exploration session, the "
+    "type and parameters of its query operations, and continuity variables that connect "
+    "them. LDX supported operators are filter (F) and group by with aggregation (G).\n"
+    "Here are examples for converting Pandas code to LDX:"
+)
+
+_NL2LDX_HEADER = (
+    "LDX is a specification language that extends Tregex, a query language for "
+    "tree-structured data. The language is especially useful for specifying the order of "
+    "a notebook's query operations and their type and parameters.\n"
+    "Here are examples of how to convert analysis tasks to LDX:"
+)
+
+
+def render_prompt(task: DerivationTask) -> str:
+    """Render the full textual prompt for *task* (header, few-shots, test section)."""
+    if task.kind == TASK_NL_TO_PANDAS:
+        return _render_nl2pandas(task)
+    if task.kind == TASK_PANDAS_TO_LDX:
+        return _render_pandas2ldx(task)
+    if task.kind == TASK_NL_TO_LDX:
+        return _render_nl2ldx(task)
+    raise ValueError(f"unknown task kind {task.kind!r}")
+
+
+def _render_nl2pandas(task: DerivationTask) -> str:
+    parts = [_NL2PANDAS_HEADER, ""]
+    for example in task.examples:
+        parts.extend(
+            [
+                f"Analysis Goal: {example.goal}",
+                f"Dataset: {example.dataset}",
+                f"Scheme: {', '.join(example.schema)}",
+                "PyLDX Code:",
+                example.pyldx_code,
+                f"Explanation: {example.explanation}" if example.explanation else "",
+                "",
+            ]
+        )
+    parts.extend(
+        [
+            "Use this sample of the first rows from the dataset as a reference:",
+            task.dataset_sample,
+            "",
+            f"Analysis Goal: {task.goal}",
+            f"Dataset: {task.dataset}",
+            f"Scheme: {', '.join(task.schema)}",
+            "PyLDX Code:",
+        ]
+    )
+    return "\n".join(part for part in parts if part is not None)
+
+
+def _render_pandas2ldx(task: DerivationTask) -> str:
+    parts = [_PANDAS2LDX_HEADER, ""]
+    for example in task.examples:
+        parts.extend(
+            [
+                "Pandas:",
+                example.pyldx_code,
+                "LDX:",
+                example.ldx_text,
+                f"Explanation: {example.explanation}" if example.explanation else "",
+                "",
+            ]
+        )
+    parts.extend(["Pandas:", task.pyldx_code, "LDX:"])
+    return "\n".join(part for part in parts if part is not None)
+
+
+def _render_nl2ldx(task: DerivationTask) -> str:
+    parts = [_NL2LDX_HEADER, ""]
+    for example in task.examples:
+        parts.extend(
+            [
+                f"Task: {example.goal}",
+                f"Dataset: {example.dataset}",
+                f"Scheme: {', '.join(example.schema)}",
+                "LDX:",
+                example.ldx_text,
+                "",
+            ]
+        )
+    parts.extend(
+        [
+            "Use this sample of the first rows from the dataset as a reference:",
+            task.dataset_sample,
+            "",
+            f"Task: {task.goal}",
+            f"Dataset: {task.dataset}",
+            f"Scheme: {', '.join(task.schema)}",
+            "LDX:",
+        ]
+    )
+    return "\n".join(part for part in parts if part is not None)

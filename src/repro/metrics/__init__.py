@@ -1,0 +1,32 @@
+"""Evaluation metrics: lev2, xTED and session compliance reports."""
+
+from .compliance import ComplianceReport, compliance_report
+from .levenshtein import (
+    lev2_score,
+    levenshtein,
+    normalised_levenshtein,
+    operational_distance,
+    structural_distance,
+    two_way_levenshtein,
+)
+from .tree_edit import (
+    normalised_tree_edit_distance,
+    operation_label_distance,
+    tree_edit_distance,
+    xted_score,
+)
+
+__all__ = [
+    "ComplianceReport",
+    "compliance_report",
+    "lev2_score",
+    "levenshtein",
+    "normalised_levenshtein",
+    "normalised_tree_edit_distance",
+    "operation_label_distance",
+    "operational_distance",
+    "structural_distance",
+    "tree_edit_distance",
+    "two_way_levenshtein",
+    "xted_score",
+]

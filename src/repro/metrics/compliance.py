@@ -1,0 +1,50 @@
+"""Session-level compliance and relevance metrics used by the study harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.explore.session import ExplorationSession
+from repro.ldx.ast import LdxQuery
+from repro.ldx.verifier import (
+    operational_match_ratio,
+    partial_structural_ratio,
+    verify,
+    verify_structure,
+)
+
+
+@dataclass(frozen=True)
+class ComplianceReport:
+    """Compliance facts about one generated session with respect to a gold query."""
+
+    fully_compliant: bool
+    structurally_compliant: bool
+    operational_ratio: float
+    structural_ratio: float
+
+    def relevance_score(self) -> float:
+        """A [0, 1] relevance proxy combining structure and operations.
+
+        Full compliance scores 1; otherwise the score interpolates between
+        structural progress (weight 0.4) and operational satisfaction
+        (weight 0.6, only available once structure holds).
+        """
+        if self.fully_compliant:
+            return 1.0
+        if self.structurally_compliant:
+            return 0.4 + 0.6 * self.operational_ratio
+        return 0.4 * self.structural_ratio
+
+
+def compliance_report(session: ExplorationSession, query: LdxQuery) -> ComplianceReport:
+    """Evaluate *session* against *query* and return a :class:`ComplianceReport`."""
+    tree = session.to_tree()
+    full = verify(tree, query)
+    structural = verify_structure(tree, query)
+    return ComplianceReport(
+        fully_compliant=full,
+        structurally_compliant=structural,
+        operational_ratio=operational_match_ratio(tree, query) if structural else 0.0,
+        structural_ratio=partial_structural_ratio(tree, query),
+    )

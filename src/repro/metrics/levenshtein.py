@@ -1,0 +1,115 @@
+"""String distances used to evaluate LDX derivation quality (Section 7.2).
+
+The paper's first metric is the **two-way Levenshtein distance** ``lev2``:
+the Levenshtein score is computed separately for structural and operational
+specifications (so reordering operational specs is not penalised), both are
+normalised, and the final score is the harmonic mean of the inverses of the
+two distances.  We report the complement (``1 - distance``) so higher is
+better, matching Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.ldx.ast import LdxQuery
+from repro.ldx.parser import try_parse_ldx
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance between two strings (insert / delete / substitute)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def normalised_levenshtein(a: str, b: str) -> float:
+    """Edit distance normalised by the longer string's length (0 = identical)."""
+    if not a and not b:
+        return 0.0
+    return levenshtein(a, b) / max(len(a), len(b))
+
+
+def _structural_text(query: LdxQuery) -> str:
+    """Canonical rendering of the structural clauses only."""
+    parts = []
+    for spec in query.structural_subset().specs:
+        for clause in spec.structure:
+            names = ",".join(sorted(clause.named) + ["+"] * clause.extra)
+            parts.append(f"{spec.name} {clause.relation} {names}")
+    return " | ".join(sorted(parts))
+
+
+def _operational_texts(query: LdxQuery) -> list[str]:
+    """Canonical renderings of each operational specification."""
+    return [spec.operation.render() for spec in query.operational_specs()]
+
+
+def structural_distance(query_a: LdxQuery, query_b: LdxQuery) -> float:
+    """Normalised Levenshtein over the structural specifications."""
+    return normalised_levenshtein(_structural_text(query_a), _structural_text(query_b))
+
+
+def operational_distance(query_a: LdxQuery, query_b: LdxQuery) -> float:
+    """Mean best-match Levenshtein over operational specifications.
+
+    For every operational spec in ``query_a``, take the distance to the most
+    similar spec in ``query_b`` and average (the paper's
+    ``1/|Q_opr| * sum_o min_o' lev(o, o')``).
+    """
+    ops_a = _operational_texts(query_a)
+    ops_b = _operational_texts(query_b)
+    if not ops_a and not ops_b:
+        return 0.0
+    if not ops_a or not ops_b:
+        return 1.0
+    total = 0.0
+    for op_a in ops_a:
+        total += min(normalised_levenshtein(op_a, op_b) for op_b in ops_b)
+    return total / len(ops_a)
+
+
+def two_way_levenshtein(query_a: LdxQuery, query_b: LdxQuery) -> float:
+    """``lev2`` distance: harmonic combination of structural and operational distances."""
+    structural = structural_distance(query_a, query_b)
+    operational = operational_distance(query_a, query_b)
+    # Harmonic mean of the inverses of the scores, expressed directly on the
+    # similarity scale and converted back to a distance.
+    structural_similarity = 1.0 - structural
+    operational_similarity = 1.0 - operational
+    if structural_similarity + operational_similarity == 0:
+        return 1.0
+    similarity = (
+        2 * structural_similarity * operational_similarity
+        / (structural_similarity + operational_similarity)
+        if (structural_similarity > 0 and operational_similarity > 0)
+        else 0.0
+    )
+    return 1.0 - similarity
+
+
+def lev2_score(gold: LdxQuery | str, predicted: LdxQuery | str | None) -> float:
+    """``1 - lev2``: the similarity score reported in Table 2 (higher is better).
+
+    Unparsable predictions score 0.
+    """
+    gold_query = gold if isinstance(gold, LdxQuery) else try_parse_ldx(gold)
+    if gold_query is None:
+        raise ValueError("gold LDX query does not parse")
+    if predicted is None:
+        return 0.0
+    predicted_query = (
+        predicted if isinstance(predicted, LdxQuery) else try_parse_ldx(predicted)
+    )
+    if predicted_query is None:
+        return 0.0
+    return 1.0 - two_way_levenshtein(gold_query, predicted_query)

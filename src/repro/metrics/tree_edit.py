@@ -1,0 +1,172 @@
+"""Exploration tree edit distance (xTED, Section 7.2 and Appendix B.2).
+
+Implements the Zhang–Shasha ordered tree edit distance with a dedicated
+label distance for exploration operations [46]: operation kind mismatches
+cost 1, parameter mismatches cost proportionally to the number of differing
+fields, and the relation kind (children vs descendants, Appendix B.2) adds a
+small penalty.  LDX queries are converted to their minimal trees with
+continuity variables masked before comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.ldx.ast import LdxQuery
+from repro.ldx.parser import try_parse_ldx
+from repro.tregex.tree import TreeNode
+
+LabelDistance = Callable[[Any, Any], float]
+
+
+def operation_label_distance(label_a: Any, label_b: Any) -> float:
+    """Distance in [0, 1] between two exploration-operation labels.
+
+    Labels are tuples ``(kind, field..., relation?)``; the kind dominates the
+    distance, the remaining fields contribute proportionally and a differing
+    child-relation kind adds 0.2 (capped at 1).
+    """
+    fields_a = tuple(str(part) for part in (label_a if isinstance(label_a, (tuple, list)) else (label_a,)))
+    fields_b = tuple(str(part) for part in (label_b if isinstance(label_b, (tuple, list)) else (label_b,)))
+    if not fields_a or not fields_b:
+        return 1.0
+    if fields_a[0] != fields_b[0]:
+        return 1.0
+    relation_penalty = 0.0
+    params_a, params_b = list(fields_a[1:]), list(fields_b[1:])
+    relations = ("children", "descendants")
+    if params_a and params_a[-1] in relations and params_b and params_b[-1] in relations:
+        if params_a[-1] != params_b[-1]:
+            relation_penalty = 0.2
+        params_a, params_b = params_a[:-1], params_b[:-1]
+    length = max(len(params_a), len(params_b))
+    if length == 0:
+        return min(1.0, relation_penalty)
+    differing = sum(
+        1
+        for i in range(length)
+        if (params_a[i] if i < len(params_a) else None) != (params_b[i] if i < len(params_b) else None)
+    )
+    return min(1.0, 0.8 * differing / length + relation_penalty)
+
+
+def tree_edit_distance(
+    root_a: TreeNode,
+    root_b: TreeNode,
+    label_distance: LabelDistance = operation_label_distance,
+) -> float:
+    """Zhang–Shasha ordered tree edit distance with unit insert/delete costs."""
+    nodes_a = _postorder(root_a)
+    nodes_b = _postorder(root_b)
+    leftmost_a = _leftmost_indices(nodes_a)
+    leftmost_b = _leftmost_indices(nodes_b)
+    keyroots_a = _keyroots(nodes_a, leftmost_a)
+    keyroots_b = _keyroots(nodes_b, leftmost_b)
+
+    size_a, size_b = len(nodes_a), len(nodes_b)
+    distance = [[0.0] * size_b for _ in range(size_a)]
+
+    for key_a in keyroots_a:
+        for key_b in keyroots_b:
+            _compute_forest_distance(
+                key_a, key_b, nodes_a, nodes_b, leftmost_a, leftmost_b, distance, label_distance
+            )
+    return distance[size_a - 1][size_b - 1]
+
+
+def _compute_forest_distance(
+    key_a: int,
+    key_b: int,
+    nodes_a: list[TreeNode],
+    nodes_b: list[TreeNode],
+    leftmost_a: list[int],
+    leftmost_b: list[int],
+    distance: list[list[float]],
+    label_distance: LabelDistance,
+) -> None:
+    la, lb = leftmost_a[key_a], leftmost_b[key_b]
+    rows = key_a - la + 2
+    cols = key_b - lb + 2
+    forest = [[0.0] * cols for _ in range(rows)]
+    for i in range(1, rows):
+        forest[i][0] = forest[i - 1][0] + 1.0
+    for j in range(1, cols):
+        forest[0][j] = forest[0][j - 1] + 1.0
+    for i in range(1, rows):
+        for j in range(1, cols):
+            node_i = la + i - 1
+            node_j = lb + j - 1
+            if leftmost_a[node_i] == la and leftmost_b[node_j] == lb:
+                cost = label_distance(nodes_a[node_i].label, nodes_b[node_j].label)
+                forest[i][j] = min(
+                    forest[i - 1][j] + 1.0,
+                    forest[i][j - 1] + 1.0,
+                    forest[i - 1][j - 1] + cost,
+                )
+                distance[node_i][node_j] = forest[i][j]
+            else:
+                forest[i][j] = min(
+                    forest[i - 1][j] + 1.0,
+                    forest[i][j - 1] + 1.0,
+                    forest[leftmost_a[node_i] - la][leftmost_b[node_j] - lb]
+                    + distance[node_i][node_j],
+                )
+
+
+def _postorder(root: TreeNode) -> list[TreeNode]:
+    result: list[TreeNode] = []
+
+    def visit(node: TreeNode) -> None:
+        for child in node.children:
+            visit(child)
+        result.append(node)
+
+    visit(root)
+    return result
+
+
+def _leftmost_indices(postorder: list[TreeNode]) -> list[int]:
+    index_of = {id(node): i for i, node in enumerate(postorder)}
+
+    def leftmost(node: TreeNode) -> TreeNode:
+        while node.children:
+            node = node.children[0]
+        return node
+
+    return [index_of[id(leftmost(node))] for node in postorder]
+
+
+def _keyroots(postorder: list[TreeNode], leftmost: list[int]) -> list[int]:
+    seen: dict[int, int] = {}
+    for index in range(len(postorder)):
+        seen[leftmost[index]] = index
+    return sorted(seen.values())
+
+
+def normalised_tree_edit_distance(root_a: TreeNode, root_b: TreeNode) -> float:
+    """Tree edit distance normalised by the larger tree size (0 = identical)."""
+    distance = tree_edit_distance(root_a, root_b)
+    size = max(root_a.size(), root_b.size())
+    return distance / size if size else 0.0
+
+
+def xted_score(gold: LdxQuery | str, predicted: LdxQuery | str | None) -> float:
+    """``1 - xTED`` over the minimal trees of two LDX queries (higher is better).
+
+    Continuity variables are masked to category identifiers so naming
+    differences are not penalised (Appendix B.2).  Unparsable predictions
+    score 0.
+    """
+    gold_query = gold if isinstance(gold, LdxQuery) else try_parse_ldx(gold)
+    if gold_query is None:
+        raise ValueError("gold LDX query does not parse")
+    if predicted is None:
+        return 0.0
+    predicted_query = (
+        predicted if isinstance(predicted, LdxQuery) else try_parse_ldx(predicted)
+    )
+    if predicted_query is None:
+        return 0.0
+    tree_gold = gold_query.minimal_tree(mask_continuity=True)
+    tree_predicted = predicted_query.minimal_tree(mask_continuity=True)
+    return 1.0 - normalised_tree_edit_distance(tree_gold, tree_predicted)

@@ -1,0 +1,42 @@
+"""LLM-based derivation of exploration specifications (LINX Step 1)."""
+
+from .fewshot import SCENARIOS, FewShotBank, Scenario, example_from_instance
+from .pipeline import (
+    ChainedPipeline,
+    DerivationEvaluation,
+    DerivationResult,
+    DirectPipeline,
+    ScenarioScore,
+    evaluate_derivation,
+)
+from .pyldx import (
+    PyLdxError,
+    PyLdxProgram,
+    PyLdxStatement,
+    PyLdxValue,
+    ldx_to_pyldx,
+    parse_pyldx,
+    pyldx_text_to_ldx,
+    pyldx_to_ldx,
+)
+
+__all__ = [
+    "ChainedPipeline",
+    "DerivationEvaluation",
+    "DerivationResult",
+    "DirectPipeline",
+    "FewShotBank",
+    "PyLdxError",
+    "PyLdxProgram",
+    "PyLdxStatement",
+    "PyLdxValue",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioScore",
+    "evaluate_derivation",
+    "example_from_instance",
+    "ldx_to_pyldx",
+    "parse_pyldx",
+    "pyldx_text_to_ldx",
+    "pyldx_to_ldx",
+]

@@ -1,0 +1,202 @@
+"""NL→LDX derivation pipelines (Section 6) and their evaluation (Section 7.2).
+
+Two pipelines are provided:
+
+* :class:`ChainedPipeline` — the paper's **NL2PD2LDX** approach: an NL→PyLDX
+  prompt followed by a PyLDX→LDX prompt;
+* :class:`DirectPipeline` — the ablation baseline that asks for LDX directly.
+
+Both work against any :class:`~repro.llm.interface.LLMClient`.
+:func:`evaluate_derivation` reproduces Table 2: lev² and xTED scores per
+scenario, model and prompting approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.generator import Benchmark, BenchmarkInstance
+from repro.datasets.registry import dataset_schema_description, load_dataset
+from repro.ldx.ast import LdxQuery
+from repro.ldx.parser import try_parse_ldx
+from repro.llm.interface import (
+    TASK_NL_TO_LDX,
+    TASK_NL_TO_PANDAS,
+    TASK_PANDAS_TO_LDX,
+    DerivationTask,
+    LLMClient,
+)
+from repro.metrics.levenshtein import lev2_score
+from repro.metrics.tree_edit import xted_score
+
+from .fewshot import SCENARIOS, FewShotBank, Scenario
+
+
+@dataclass
+class DerivationResult:
+    """The outcome of deriving specifications for one analytical goal."""
+
+    goal: str
+    dataset: str
+    ldx_text: str
+    query: LdxQuery | None
+    intermediate_pyldx: str = ""
+
+    @property
+    def parsed(self) -> bool:
+        return self.query is not None
+
+
+class DirectPipeline:
+    """Single-prompt NL→LDX derivation (the paper's ablation baseline)."""
+
+    name = "NL2LDX"
+
+    def __init__(self, client: LLMClient, bank: FewShotBank):
+        self.client = client
+        self.bank = bank
+
+    def derive(self, test: BenchmarkInstance, scenario: Scenario) -> DerivationResult:
+        examples = self.bank.select(test, scenario)
+        task = DerivationTask(
+            kind=TASK_NL_TO_LDX,
+            examples=examples,
+            goal=test.goal,
+            dataset=test.dataset,
+            schema=tuple(load_dataset(test.dataset).columns),
+            dataset_sample=dataset_schema_description(test.dataset),
+        )
+        ldx_text = self.client.derive(task)
+        return DerivationResult(
+            goal=test.goal,
+            dataset=test.dataset,
+            ldx_text=ldx_text,
+            query=try_parse_ldx(ldx_text),
+        )
+
+
+class ChainedPipeline:
+    """The NL2PD2LDX chained prompting approach (NL→PyLDX→LDX)."""
+
+    name = "NL2PD2LDX"
+
+    def __init__(self, client: LLMClient, bank: FewShotBank):
+        self.client = client
+        self.bank = bank
+
+    def derive(self, test: BenchmarkInstance, scenario: Scenario) -> DerivationResult:
+        examples = self.bank.select(test, scenario)
+        schema = tuple(load_dataset(test.dataset).columns)
+        pandas_task = DerivationTask(
+            kind=TASK_NL_TO_PANDAS,
+            examples=examples,
+            goal=test.goal,
+            dataset=test.dataset,
+            schema=schema,
+            dataset_sample=dataset_schema_description(test.dataset),
+        )
+        pyldx_code = self.client.derive(pandas_task)
+        ldx_task = DerivationTask(
+            kind=TASK_PANDAS_TO_LDX,
+            examples=examples,
+            dataset=test.dataset,
+            schema=schema,
+            pyldx_code=pyldx_code,
+        )
+        ldx_text = self.client.derive(ldx_task)
+        return DerivationResult(
+            goal=test.goal,
+            dataset=test.dataset,
+            ldx_text=ldx_text,
+            query=try_parse_ldx(ldx_text),
+            intermediate_pyldx=pyldx_code,
+        )
+
+
+@dataclass
+class ScenarioScore:
+    """Aggregate lev² / xTED scores for one (model, approach, scenario) cell."""
+
+    model: str
+    approach: str
+    scenario: str
+    lev2: float = 0.0
+    xted: float = 0.0
+    parse_rate: float = 0.0
+    instances: int = 0
+
+
+@dataclass
+class DerivationEvaluation:
+    """The full Table 2 grid."""
+
+    cells: list[ScenarioScore] = field(default_factory=list)
+
+    def cell(self, model: str, approach: str, scenario: str) -> ScenarioScore:
+        for entry in self.cells:
+            if (
+                entry.model == model
+                and entry.approach == approach
+                and entry.scenario == scenario
+            ):
+                return entry
+        raise KeyError((model, approach, scenario))
+
+    def rows(self) -> list[dict[str, object]]:
+        return [
+            {
+                "model": cell.model,
+                "approach": cell.approach,
+                "scenario": cell.scenario,
+                "lev2": round(cell.lev2, 3),
+                "xted": round(cell.xted, 3),
+                "parse_rate": round(cell.parse_rate, 3),
+                "instances": cell.instances,
+            }
+            for cell in self.cells
+        ]
+
+
+def evaluate_derivation(
+    benchmark: Benchmark,
+    clients: dict[str, LLMClient],
+    max_instances_per_scenario: int | None = None,
+    scenarios: tuple[Scenario, ...] = SCENARIOS,
+) -> DerivationEvaluation:
+    """Run the Table 2 evaluation for the given simulated (or real) clients.
+
+    ``max_instances_per_scenario`` subsamples the benchmark deterministically
+    (every k-th instance) to keep laptop-scale runs fast.
+    """
+    evaluation = DerivationEvaluation()
+    instances = benchmark.instances
+    if max_instances_per_scenario and len(instances) > max_instances_per_scenario:
+        step = max(1, len(instances) // max_instances_per_scenario)
+        instances = instances[::step][:max_instances_per_scenario]
+    bank = FewShotBank(benchmark)
+    for model_name, client in clients.items():
+        for approach_cls in (DirectPipeline, ChainedPipeline):
+            pipeline = approach_cls(client, bank)
+            for scenario in scenarios:
+                lev_scores: list[float] = []
+                xted_scores: list[float] = []
+                parsed = 0
+                for test in instances:
+                    result = pipeline.derive(test, scenario)
+                    gold = test.ldx_query()
+                    lev_scores.append(lev2_score(gold, result.query))
+                    xted_scores.append(xted_score(gold, result.query))
+                    parsed += 1 if result.parsed else 0
+                count = len(instances)
+                evaluation.cells.append(
+                    ScenarioScore(
+                        model=model_name,
+                        approach=pipeline.name,
+                        scenario=scenario.name,
+                        lev2=sum(lev_scores) / count if count else 0.0,
+                        xted=sum(xted_scores) / count if count else 0.0,
+                        parse_rate=parsed / count if count else 0.0,
+                        instances=count,
+                    )
+                )
+    return evaluation

@@ -1,0 +1,13 @@
+"""Notebook rendering and insight extraction."""
+
+from .insights import Insight, extract_insights
+from .render import Notebook, NotebookCell, render_notebook, render_table_notebook
+
+__all__ = [
+    "Insight",
+    "Notebook",
+    "NotebookCell",
+    "extract_insights",
+    "render_notebook",
+    "render_table_notebook",
+]

@@ -1,0 +1,154 @@
+"""Insight extraction from exploration sessions.
+
+The objective user study (Section 7.3, Figure 6 and Table 3) counts how many
+goal-relevant insights users can derive from a notebook.  To simulate that
+study offline we extract candidate insights mechanically from each session:
+dominant groups, distribution shifts between sibling comparison branches,
+and subset-vs-rest contrasts.  Each insight records which session nodes it
+came from so relevance can be assessed against the goal's LDX specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.explore.operations import FilterOperation, GroupAggOperation
+from repro.explore.session import ExplorationSession, SessionNode
+
+
+@dataclass(frozen=True)
+class Insight:
+    """One extracted insight with a relevance-tracking provenance."""
+
+    text: str
+    kind: str
+    source_nodes: tuple[int, ...] = field(default_factory=tuple)
+    strength: float = 0.0
+
+
+def _dominant_group_insights(node: SessionNode) -> list[Insight]:
+    """Insights of the form "most X are Y" from a group-by result."""
+    insights: list[Insight] = []
+    view = node.view
+    if not isinstance(node.operation, GroupAggOperation) or len(view) < 2:
+        return insights
+    value_col = view.columns[-1]
+    key_col = view.columns[0]
+    values = [v for v in view.column(value_col).non_null() if isinstance(v, (int, float))]
+    if not values:
+        return insights
+    total = sum(values)
+    top = view.row(0)
+    if total > 0 and isinstance(top[value_col], (int, float)):
+        share = top[value_col] / total
+        if share >= 0.4:
+            context = _filter_context(node)
+            insights.append(
+                Insight(
+                    text=(
+                        f"{context}the most common {key_col} is {top[key_col]} "
+                        f"({share:.0%} of the {node.operation.agg_func} of {node.operation.agg_attr})"
+                    ),
+                    kind="dominant_group",
+                    source_nodes=(node.step_index,),
+                    strength=share,
+                )
+            )
+    return insights
+
+
+def _filter_context(node: SessionNode) -> str:
+    filters = [
+        ancestor.operation.describe().replace("FILTER ", "")
+        for ancestor in node.ancestors()
+        if isinstance(ancestor.operation, FilterOperation)
+    ]
+    if not filters:
+        return ""
+    return "For " + " and ".join(reversed(filters)) + ", "
+
+
+def _comparison_insights(session: ExplorationSession) -> list[Insight]:
+    """Contrast sibling group-by results under different filters (the g1 pattern)."""
+    insights: list[Insight] = []
+    grouped: list[SessionNode] = [
+        node
+        for node in session.query_nodes()
+        if isinstance(node.operation, GroupAggOperation)
+        and node.parent is not None
+        and isinstance(node.parent.operation, FilterOperation)
+    ]
+    for i, node_a in enumerate(grouped):
+        for node_b in grouped[i + 1 :]:
+            op_a, op_b = node_a.operation, node_b.operation
+            if (op_a.group_attr, op_a.agg_func) != (op_b.group_attr, op_b.agg_func):
+                continue
+            parent_a, parent_b = node_a.parent.operation, node_b.parent.operation
+            if parent_a.attr != parent_b.attr:
+                continue
+            top_a = _top_key(node_a)
+            top_b = _top_key(node_b)
+            if top_a is None or top_b is None or top_a == top_b:
+                continue
+            insights.append(
+                Insight(
+                    text=(
+                        f"While for {parent_a.describe().replace('FILTER ', '')} the most common "
+                        f"{op_a.group_attr} is {top_a}, for "
+                        f"{parent_b.describe().replace('FILTER ', '')} it is {top_b}"
+                    ),
+                    kind="contrast",
+                    source_nodes=(node_a.step_index, node_b.step_index),
+                    strength=1.0,
+                )
+            )
+    return insights
+
+
+def _top_key(node: SessionNode):
+    view = node.view
+    if len(view) == 0:
+        return None
+    return view.row(0)[view.columns[0]]
+
+
+def _subset_size_insights(session: ExplorationSession) -> list[Insight]:
+    insights: list[Insight] = []
+    for node in session.query_nodes():
+        if not isinstance(node.operation, FilterOperation) or node.parent is None:
+            continue
+        total = len(node.parent.view)
+        if total == 0:
+            continue
+        share = len(node.view) / total
+        if 0.0 < share <= 0.25 or share >= 0.75:
+            insights.append(
+                Insight(
+                    text=(
+                        f"Rows with {node.operation.describe().replace('FILTER ', '')} account for "
+                        f"{share:.0%} of the parent view ({len(node.view)} of {total})"
+                    ),
+                    kind="subset_size",
+                    source_nodes=(node.step_index,),
+                    strength=abs(share - 0.5),
+                )
+            )
+    return insights
+
+
+def extract_insights(session: ExplorationSession, max_insights: int = 12) -> list[Insight]:
+    """All candidate insights of a session, strongest first."""
+    insights: list[Insight] = []
+    insights.extend(_comparison_insights(session))
+    for node in session.query_nodes():
+        insights.extend(_dominant_group_insights(node))
+    insights.extend(_subset_size_insights(session))
+    insights.sort(key=lambda insight: insight.strength, reverse=True)
+    deduplicated: list[Insight] = []
+    seen_text: set[str] = set()
+    for insight in insights:
+        if insight.text in seen_text:
+            continue
+        seen_text.add(insight.text)
+        deduplicated.append(insight)
+    return deduplicated[:max_insights]

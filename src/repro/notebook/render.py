@@ -1,0 +1,186 @@
+"""Rendering exploration sessions as notebooks.
+
+LINX presents its output session in a scientific-notebook interface
+(Section 1).  This module renders an :class:`ExplorationSession` as markdown
+text or as a Jupyter ``.ipynb`` JSON document: one cell per query operation,
+showing the equivalent pandas-style code, a preview of the result view and
+the basic statistics an analyst would glance at.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.dataframe.table import DataTable
+from repro.explore.operations import FilterOperation, GroupAggOperation
+from repro.explore.session import ExplorationSession, SessionNode
+
+
+@dataclass
+class NotebookCell:
+    """One rendered notebook cell: code, preview table and commentary."""
+
+    title: str
+    code: str
+    preview: list[dict[str, Any]] = field(default_factory=list)
+    commentary: str = ""
+
+
+@dataclass
+class Notebook:
+    """A rendered exploration notebook."""
+
+    dataset_name: str
+    goal: str = ""
+    cells: list[NotebookCell] = field(default_factory=list)
+
+    def to_markdown(self) -> str:
+        lines = [f"# Exploration notebook — {self.dataset_name}"]
+        if self.goal:
+            lines.append(f"**Analysis goal:** {self.goal}")
+        for index, cell in enumerate(self.cells, start=1):
+            lines.append(f"\n## Step {index}: {cell.title}")
+            lines.append("```python")
+            lines.append(cell.code)
+            lines.append("```")
+            if cell.preview:
+                lines.append(_markdown_table(cell.preview))
+            if cell.commentary:
+                lines.append(f"*{cell.commentary}*")
+        return "\n".join(lines)
+
+    def to_ipynb(self) -> dict[str, Any]:
+        """A minimal but valid ``.ipynb`` (nbformat 4) JSON document."""
+        notebook_cells: list[dict[str, Any]] = []
+        header = f"# Exploration notebook — {self.dataset_name}\n"
+        if self.goal:
+            header += f"\n**Analysis goal:** {self.goal}"
+        notebook_cells.append(
+            {"cell_type": "markdown", "metadata": {}, "source": header}
+        )
+        for index, cell in enumerate(self.cells, start=1):
+            notebook_cells.append(
+                {
+                    "cell_type": "markdown",
+                    "metadata": {},
+                    "source": f"## Step {index}: {cell.title}\n{cell.commentary}",
+                }
+            )
+            output_text = _markdown_table(cell.preview) if cell.preview else ""
+            notebook_cells.append(
+                {
+                    "cell_type": "code",
+                    "metadata": {},
+                    "execution_count": index,
+                    "source": cell.code,
+                    "outputs": (
+                        [
+                            {
+                                "output_type": "stream",
+                                "name": "stdout",
+                                "text": output_text,
+                            }
+                        ]
+                        if output_text
+                        else []
+                    ),
+                }
+            )
+        return {
+            "nbformat": 4,
+            "nbformat_minor": 5,
+            "metadata": {"language_info": {"name": "python"}},
+            "cells": notebook_cells,
+        }
+
+    def to_ipynb_json(self) -> str:
+        return json.dumps(self.to_ipynb(), indent=1)
+
+
+def _markdown_table(rows: list[dict[str, Any]], max_rows: int = 10) -> str:
+    if not rows:
+        return ""
+    columns = list(rows[0])
+    lines = ["| " + " | ".join(columns) + " |", "|" + "---|" * len(columns)]
+    for row in rows[:max_rows]:
+        lines.append("| " + " | ".join(str(row.get(c, "")) for c in columns) + " |")
+    if len(rows) > max_rows:
+        lines.append(f"| ... ({len(rows) - max_rows} more rows) | " + " |" * (len(columns) - 1))
+    return "\n".join(lines)
+
+
+def _pandas_code_for(node: SessionNode, parent_variable: str, variable: str) -> str:
+    operation = node.operation
+    if isinstance(operation, FilterOperation):
+        symbol = {"eq": "==", "neq": "!=", "gt": ">", "ge": ">=", "lt": "<", "le": "<="}.get(
+            operation.op
+        )
+        if symbol:
+            term = operation.term
+            term_repr = repr(term)
+            return f"{variable} = {parent_variable}[{parent_variable}[{operation.attr!r}] {symbol} {term_repr}]"
+        return (
+            f"{variable} = {parent_variable}[{parent_variable}[{operation.attr!r}]"
+            f".str.contains({operation.term!r}, case=False)]"
+        )
+    if isinstance(operation, GroupAggOperation):
+        return (
+            f"{variable} = {parent_variable}.groupby({operation.group_attr!r})"
+            f"[{operation.agg_attr!r}].{operation.agg_func}()"
+        )
+    return f"{variable} = {parent_variable}"
+
+
+def _commentary(node: SessionNode) -> str:
+    view = node.view
+    operation = node.operation
+    if isinstance(operation, FilterOperation) and node.parent is not None:
+        total = max(1, len(node.parent.view))
+        share = 100.0 * len(view) / total
+        return (
+            f"The filter keeps {len(view)} of {total} rows ({share:.1f}% of the parent view)."
+        )
+    if isinstance(operation, GroupAggOperation) and len(view) > 0:
+        first = view.row(0)
+        key_col = view.columns[0]
+        value_col = view.columns[-1]
+        return (
+            f"{len(view)} groups; the largest is {key_col}={first[key_col]} "
+            f"with {value_col}={first[value_col]}."
+        )
+    return ""
+
+
+def render_notebook(
+    session: ExplorationSession,
+    goal: str = "",
+    preview_rows: int = 8,
+) -> Notebook:
+    """Render *session* as a :class:`Notebook` (one cell per query operation)."""
+    notebook = Notebook(dataset_name=session.dataset.name, goal=goal)
+    variables: dict[int, str] = {id(session.root): "df"}
+    for index, node in enumerate(session.query_nodes(), start=1):
+        variable = f"view_{index}"
+        variables[id(node)] = variable
+        parent_variable = variables.get(id(node.parent), "df")
+        preview = node.view.head(preview_rows).rows()
+        notebook.cells.append(
+            NotebookCell(
+                title=node.operation.describe(),
+                code=_pandas_code_for(node, parent_variable, variable),
+                preview=preview,
+                commentary=_commentary(node),
+            )
+        )
+    return notebook
+
+
+def render_table_notebook(table: DataTable, title: str) -> Notebook:
+    """Render a flat table as a single-cell notebook (used by simple baselines)."""
+    notebook = Notebook(dataset_name=table.name, goal=title)
+    notebook.cells.append(
+        NotebookCell(title=title, code="df.describe()", preview=table.head(10).rows())
+    )
+    return notebook

@@ -1,0 +1,32 @@
+"""Minimal deep reinforcement learning library (the ChainerRL substitute)."""
+
+from .buffer import EpisodeBuffer, Transition
+from .network import DenseLayer, MultiHeadPolicyNetwork, softmax
+from .optimizer import SGD, Adam
+from .policy import CategoricalPolicy, PolicyDecision
+from .schedules import ConstantSchedule, ExponentialDecaySchedule, LinearSchedule
+from .trainer import (
+    PolicyGradientTrainer,
+    TrainerConfig,
+    TrainingHistory,
+    default_decision_to_choice,
+)
+
+__all__ = [
+    "Adam",
+    "CategoricalPolicy",
+    "ConstantSchedule",
+    "DenseLayer",
+    "EpisodeBuffer",
+    "ExponentialDecaySchedule",
+    "LinearSchedule",
+    "MultiHeadPolicyNetwork",
+    "PolicyDecision",
+    "PolicyGradientTrainer",
+    "SGD",
+    "TrainerConfig",
+    "TrainingHistory",
+    "Transition",
+    "default_decision_to_choice",
+    "softmax",
+]

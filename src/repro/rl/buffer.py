@@ -1,0 +1,45 @@
+"""Episode storage for on-policy training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .policy import PolicyDecision
+
+
+@dataclass
+class Transition:
+    """One agent step: the decision taken and the observed reward."""
+
+    decision: PolicyDecision
+    reward: float
+    done: bool
+
+
+@dataclass
+class EpisodeBuffer:
+    """Collects the transitions of one episode and computes returns."""
+
+    transitions: list[Transition] = field(default_factory=list)
+
+    def add(self, decision: PolicyDecision, reward: float, done: bool) -> None:
+        self.transitions.append(Transition(decision, reward, done))
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+    def total_reward(self) -> float:
+        return sum(t.reward for t in self.transitions)
+
+    def returns(self, discount: float = 0.99) -> list[float]:
+        """Discounted return from each step to the end of the episode."""
+        result: list[float] = []
+        running = 0.0
+        for transition in reversed(self.transitions):
+            running = transition.reward + discount * running
+            result.append(running)
+        result.reverse()
+        return result
+
+    def clear(self) -> None:
+        self.transitions.clear()

@@ -1,0 +1,171 @@
+"""A small numpy neural-network library for the DRL agents.
+
+The paper builds on ChainerRL; offline we implement the minimal pieces the
+exploration agents need: dense layers with tanh activations, a shared trunk
+feeding several softmax heads (the "multi-softmax" pre-output layer of
+Figure 2), a value head for the baseline, and manual backpropagation.
+
+All parameters live in plain numpy arrays so the optimiser
+(:mod:`repro.rl.optimizer`) can update them in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+
+def _init_weight(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Xavier/Glorot uniform initialisation."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+@dataclass
+class DenseLayer:
+    """A fully-connected layer ``y = x @ W + b`` with optional tanh activation."""
+
+    weight: np.ndarray
+    bias: np.ndarray
+    activation: str = "tanh"
+    # forward cache
+    _input: np.ndarray = field(default=None, repr=False)
+    _pre_activation: np.ndarray = field(default=None, repr=False)
+    # gradients
+    grad_weight: np.ndarray = field(default=None, repr=False)
+    grad_bias: np.ndarray = field(default=None, repr=False)
+
+    @classmethod
+    def create(
+        cls, rng: np.random.Generator, fan_in: int, fan_out: int, activation: str = "tanh"
+    ) -> "DenseLayer":
+        return cls(
+            weight=_init_weight(rng, fan_in, fan_out),
+            bias=np.zeros(fan_out),
+            activation=activation,
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._input = x
+        self._pre_activation = x @ self.weight + self.bias
+        if self.activation == "tanh":
+            return np.tanh(self._pre_activation)
+        if self.activation == "linear":
+            return self._pre_activation
+        raise ValueError(f"unknown activation {self.activation!r}")
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients and return the gradient wrt the input."""
+        if self.activation == "tanh":
+            grad_pre = grad_output * (1.0 - np.tanh(self._pre_activation) ** 2)
+        else:
+            grad_pre = grad_output
+        if self.grad_weight is None:
+            self.grad_weight = np.zeros_like(self.weight)
+            self.grad_bias = np.zeros_like(self.bias)
+        if self._input.ndim == 1:
+            self.grad_weight += np.outer(self._input, grad_pre)
+            self.grad_bias += grad_pre
+        else:
+            self.grad_weight += self._input.T @ grad_pre
+            self.grad_bias += grad_pre.sum(axis=0)
+        return grad_pre @ self.weight.T
+
+    def zero_grad(self) -> None:
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        if self.grad_weight is None:
+            self.zero_grad()
+        return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - np.max(logits, axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class MultiHeadPolicyNetwork:
+    """Shared MLP trunk with one softmax head per action component and a value head.
+
+    ``head_sizes`` maps head name -> number of discrete choices.  The forward
+    pass returns per-head probability vectors plus a scalar state-value
+    estimate used as the policy-gradient baseline.
+    """
+
+    def __init__(
+        self,
+        observation_size: int,
+        head_sizes: Mapping[str, int],
+        hidden_sizes: tuple[int, ...] = (64, 64),
+        seed: int = 0,
+    ):
+        rng = np.random.default_rng(seed)
+        self.observation_size = observation_size
+        self.head_sizes = dict(head_sizes)
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.trunk: list[DenseLayer] = []
+        fan_in = observation_size
+        for size in hidden_sizes:
+            self.trunk.append(DenseLayer.create(rng, fan_in, size, activation="tanh"))
+            fan_in = size
+        self.heads: dict[str, DenseLayer] = {
+            name: DenseLayer.create(rng, fan_in, size, activation="linear")
+            for name, size in self.head_sizes.items()
+        }
+        self.value_head = DenseLayer.create(rng, fan_in, 1, activation="linear")
+
+    # -- forward --------------------------------------------------------------------------
+    def forward(self, observation: np.ndarray) -> tuple[dict[str, np.ndarray], float]:
+        """Return per-head probabilities and the state value for one observation."""
+        hidden = observation
+        for layer in self.trunk:
+            hidden = layer.forward(hidden)
+        probabilities = {
+            name: softmax(head.forward(hidden)) for name, head in self.heads.items()
+        }
+        value = float(self.value_head.forward(hidden)[0])
+        return probabilities, value
+
+    # -- backward -------------------------------------------------------------------------
+    def backward(
+        self,
+        head_grad_logits: Mapping[str, np.ndarray],
+        value_grad: float,
+    ) -> None:
+        """Backpropagate per-head logit gradients and the value-head gradient.
+
+        The caller is responsible for converting policy-gradient losses into
+        gradients with respect to the head logits (see
+        :class:`repro.rl.policy.CategoricalPolicy`).
+        """
+        grad_hidden = np.zeros(self.trunk[-1].bias.shape if self.trunk else (self.observation_size,))
+        for name, grad_logits in head_grad_logits.items():
+            grad_hidden = grad_hidden + self.heads[name].backward(grad_logits)
+        grad_hidden = grad_hidden + self.value_head.backward(np.array([value_grad]))
+        for layer in reversed(self.trunk):
+            grad_hidden = layer.backward(grad_hidden)
+
+    def zero_grad(self) -> None:
+        for layer in self.trunk:
+            layer.zero_grad()
+        for head in self.heads.values():
+            head.zero_grad()
+        self.value_head.zero_grad()
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        params: list[tuple[np.ndarray, np.ndarray]] = []
+        for layer in self.trunk:
+            params.extend(layer.parameters())
+        for head in self.heads.values():
+            params.extend(head.parameters())
+        params.extend(self.value_head.parameters())
+        return params
+
+    def num_parameters(self) -> int:
+        return sum(weight.size for weight, _ in self.parameters())

@@ -1,0 +1,68 @@
+"""Gradient-descent optimisers for the numpy policy networks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional gradient clipping."""
+
+    def __init__(self, learning_rate: float = 0.01, clip_norm: float | None = 5.0):
+        self.learning_rate = learning_rate
+        self.clip_norm = clip_norm
+
+    def step(self, parameters: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        scale = _clip_scale(parameters, self.clip_norm)
+        for weight, grad in parameters:
+            weight -= self.learning_rate * scale * grad
+
+
+class Adam:
+    """Adam optimiser (Kingma & Ba, 2015) over in-place numpy parameters."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.003,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        clip_norm: float | None = 5.0,
+    ):
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.clip_norm = clip_norm
+        self._step = 0
+        self._moments: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def step(self, parameters: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        self._step += 1
+        scale = _clip_scale(parameters, self.clip_norm)
+        for weight, grad in parameters:
+            key = id(weight)
+            if key not in self._moments:
+                self._moments[key] = (np.zeros_like(weight), np.zeros_like(weight))
+            m, v = self._moments[key]
+            g = grad * scale
+            m[...] = self.beta1 * m + (1 - self.beta1) * g
+            v[...] = self.beta2 * v + (1 - self.beta2) * (g * g)
+            m_hat = m / (1 - self.beta1**self._step)
+            v_hat = v / (1 - self.beta2**self._step)
+            weight -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+def _clip_scale(
+    parameters: list[tuple[np.ndarray, np.ndarray]], clip_norm: float | None
+) -> float:
+    """Global-norm gradient clipping factor (1.0 when clipping is off or unnecessary)."""
+    if clip_norm is None:
+        return 1.0
+    total = 0.0
+    for _, grad in parameters:
+        total += float(np.sum(grad * grad))
+    norm = np.sqrt(total)
+    if norm <= clip_norm or norm == 0.0:
+        return 1.0
+    return clip_norm / norm

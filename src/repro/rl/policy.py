@@ -1,0 +1,159 @@
+"""Categorical multi-head policy on top of :class:`MultiHeadPolicyNetwork`.
+
+The policy samples one index per softmax head (operation type, filter
+attribute, operator, term, group attribute, aggregation function and
+aggregation attribute), records the probabilities needed for the REINFORCE
+update, and converts policy-gradient losses into logit gradients for the
+network's backward pass.
+
+The policy also supports an optional *bias provider*: a callable that, given
+the head name, returns an additive logit bias.  The specification-aware
+network (Section 5.3) uses this hook to shift probability mass toward
+snippet-compatible parameter values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from .network import MultiHeadPolicyNetwork
+
+BiasProvider = Callable[[str], Optional[np.ndarray]]
+
+
+@dataclass
+class PolicyDecision:
+    """One sampled action with everything needed for the gradient update."""
+
+    indices: dict[str, int]
+    probabilities: dict[str, np.ndarray]
+    log_prob: float
+    value: float
+    entropy: float
+    observation: np.ndarray = field(repr=False, default=None)
+    #: Logit biases that were in effect when the action was sampled; reused at
+    #: update time so the gradient matches the sampling distribution.
+    biases: dict[str, np.ndarray] = field(repr=False, default_factory=dict)
+
+
+class CategoricalPolicy:
+    """Samples factored actions and computes REINFORCE gradients."""
+
+    def __init__(
+        self,
+        network: MultiHeadPolicyNetwork,
+        rng: np.random.Generator | None = None,
+        bias_provider: BiasProvider | None = None,
+    ):
+        self.network = network
+        self.rng = rng or np.random.default_rng(0)
+        self.bias_provider = bias_provider
+
+    # -- acting --------------------------------------------------------------------------
+    def _collect_biases(self) -> dict[str, np.ndarray]:
+        """Ask the bias provider for the current per-head logit biases."""
+        if self.bias_provider is None:
+            return {}
+        biases: dict[str, np.ndarray] = {}
+        for name in self.network.head_sizes:
+            bias = self.bias_provider(name)
+            if bias is not None:
+                biases[name] = np.asarray(bias, dtype=np.float64)
+        return biases
+
+    def _head_probabilities(
+        self,
+        observation: np.ndarray,
+        biases: Optional[dict[str, np.ndarray]] = None,
+    ) -> tuple[dict[str, np.ndarray], float]:
+        probabilities, value = self.network.forward(observation)
+        if biases:
+            adjusted: dict[str, np.ndarray] = {}
+            for name, probs in probabilities.items():
+                bias = biases.get(name)
+                if bias is None:
+                    adjusted[name] = probs
+                    continue
+                logits = np.log(np.clip(probs, 1e-12, None)) + bias
+                shifted = logits - logits.max()
+                exp = np.exp(shifted)
+                adjusted[name] = exp / exp.sum()
+            probabilities = adjusted
+        return probabilities, value
+
+    def act(self, observation: np.ndarray, greedy: bool = False) -> PolicyDecision:
+        """Sample (or argmax, when *greedy*) one index per head."""
+        biases = self._collect_biases()
+        probabilities, value = self._head_probabilities(observation, biases)
+        indices: dict[str, int] = {}
+        log_prob = 0.0
+        entropy = 0.0
+        for name, probs in probabilities.items():
+            if greedy:
+                index = int(np.argmax(probs))
+            else:
+                index = int(self.rng.choice(len(probs), p=probs))
+            indices[name] = index
+            log_prob += float(np.log(max(probs[index], 1e-12)))
+            entropy += float(-np.sum(probs * np.log(np.clip(probs, 1e-12, None))))
+        return PolicyDecision(
+            indices=indices,
+            probabilities=probabilities,
+            log_prob=log_prob,
+            value=value,
+            entropy=entropy,
+            observation=np.array(observation, copy=True),
+            biases=biases,
+        )
+
+    # -- learning ------------------------------------------------------------------------
+    def accumulate_gradient(
+        self,
+        decision: PolicyDecision,
+        advantage: float,
+        value_target: float,
+        entropy_coefficient: float = 0.01,
+        value_coefficient: float = 0.5,
+    ) -> None:
+        """Accumulate gradients for one decision.
+
+        The loss is the standard actor-critic objective::
+
+            L = -advantage * log pi(a|s) + value_coef * (V(s) - target)^2
+                - entropy_coef * H(pi)
+
+        Gradients are pushed into the network; the caller applies the
+        optimiser step after a batch of decisions.
+        """
+        # Re-run the forward pass so the layer caches correspond to this observation,
+        # re-applying the biases that were active when the action was sampled.
+        probabilities, value = self._head_probabilities(decision.observation, decision.biases)
+        head_grads: dict[str, np.ndarray] = {}
+        for name, probs in probabilities.items():
+            chosen = decision.indices[name]
+            one_hot = np.zeros_like(probs)
+            one_hot[chosen] = 1.0
+            # d(-advantage * log p_chosen)/d logits = advantage * (p - onehot)
+            grad = advantage * (probs - one_hot)
+            # Entropy bonus gradient: d(-H)/d logits = p * (log p + H)
+            log_p = np.log(np.clip(probs, 1e-12, None))
+            head_entropy = float(-np.sum(probs * log_p))
+            grad += entropy_coefficient * probs * (log_p + head_entropy)
+            head_grads[name] = grad
+        value_grad = value_coefficient * 2.0 * (value - value_target)
+        self.network.backward(head_grads, value_grad)
+
+    def zero_grad(self) -> None:
+        self.network.zero_grad()
+
+    def parameters(self):
+        return self.network.parameters()
+
+    # -- diagnostics ----------------------------------------------------------------------
+    def action_distribution(self, observation: np.ndarray) -> Mapping[str, np.ndarray]:
+        """Per-head probabilities without sampling (used in tests and the ablation)."""
+        probabilities, _ = self._head_probabilities(observation, self._collect_biases())
+        return probabilities

@@ -1,0 +1,44 @@
+"""Simple hyper-parameter schedules used during training."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinearSchedule:
+    """Linearly interpolate from ``start`` to ``end`` over ``duration`` steps."""
+
+    start: float
+    end: float
+    duration: int
+
+    def value(self, step: int) -> float:
+        if self.duration <= 0:
+            return self.end
+        fraction = min(max(step / self.duration, 0.0), 1.0)
+        return self.start + fraction * (self.end - self.start)
+
+
+@dataclass(frozen=True)
+class ConstantSchedule:
+    """A schedule that always returns the same value."""
+
+    constant: float
+
+    def value(self, step: int) -> float:  # noqa: ARG002 - signature parity
+        return self.constant
+
+
+@dataclass(frozen=True)
+class ExponentialDecaySchedule:
+    """Multiply ``start`` by ``decay`` every ``interval`` steps, floored at ``minimum``."""
+
+    start: float
+    decay: float = 0.99
+    interval: int = 100
+    minimum: float = 0.0
+
+    def value(self, step: int) -> float:
+        periods = step // max(1, self.interval)
+        return max(self.minimum, self.start * (self.decay**periods))

@@ -1,0 +1,197 @@
+"""On-policy policy-gradient trainer for the exploration agents.
+
+Implements REINFORCE with a learned value baseline (a lightweight
+actor-critic), entropy regularisation and reward normalisation.  This is the
+training loop both the goal-agnostic ATENA baseline and the LINX CDRL agent
+use; LINX differs only in its environment reward and its specification-aware
+policy (snippet head + logit biasing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.explore.action_space import ActionChoice, HEAD_ORDER
+from repro.explore.environment import ExplorationEnvironment
+from repro.explore.session import ExplorationSession
+
+from .buffer import EpisodeBuffer
+from .optimizer import Adam
+from .policy import CategoricalPolicy, PolicyDecision
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Hyper-parameters for policy-gradient training."""
+
+    episodes: int = 300
+    discount: float = 0.97
+    learning_rate: float = 0.002
+    entropy_coefficient: float = 0.03
+    value_coefficient: float = 0.5
+    batch_episodes: int = 8
+    reward_scale: float = 1.0
+    greedy_eval_every: int = 25
+    seed: int = 0
+    # Self-imitation: the best episodes seen so far are replayed alongside each
+    # batch, which keeps rare high-reward (e.g. fully compliant) behaviour from
+    # being washed out by the on-policy gradient noise.
+    elite_episodes: int = 2
+
+
+@dataclass
+class TrainingHistory:
+    """Per-episode statistics collected during training (used by Figure 8)."""
+
+    episode_returns: list[float] = field(default_factory=list)
+    episode_steps: list[int] = field(default_factory=list)
+    greedy_returns: list[tuple[int, float]] = field(default_factory=list)
+
+    def total_steps(self) -> int:
+        return int(sum(self.episode_steps))
+
+    def moving_average(self, window: int = 20) -> list[float]:
+        values = self.episode_returns
+        if not values:
+            return []
+        averaged: list[float] = []
+        for index in range(len(values)):
+            start = max(0, index - window + 1)
+            chunk = values[start : index + 1]
+            averaged.append(sum(chunk) / len(chunk))
+        return averaged
+
+    def normalised_curve(self, window: int = 20) -> list[float]:
+        """Returns normalised to [roughly] 0..1 by the best smoothed value (Figure 8)."""
+        smoothed = self.moving_average(window)
+        if not smoothed:
+            return []
+        top = max(smoothed)
+        bottom = min(smoothed)
+        if top == bottom:
+            return [1.0 for _ in smoothed]
+        return [(value - bottom) / (top - bottom) for value in smoothed]
+
+
+DecisionToChoice = Callable[[dict[str, int]], ActionChoice]
+
+
+def default_decision_to_choice(indices: dict[str, int]) -> ActionChoice:
+    """Map head indices (in :data:`HEAD_ORDER`) to an :class:`ActionChoice`."""
+    return ActionChoice(**{name: indices.get(name, 0) for name in HEAD_ORDER})
+
+
+class PolicyGradientTrainer:
+    """Trains a :class:`CategoricalPolicy` in an :class:`ExplorationEnvironment`."""
+
+    def __init__(
+        self,
+        environment: ExplorationEnvironment,
+        policy: CategoricalPolicy,
+        config: TrainerConfig | None = None,
+        decision_to_choice: DecisionToChoice | None = None,
+    ):
+        self.environment = environment
+        self.policy = policy
+        self.config = config or TrainerConfig()
+        self.decision_to_choice = decision_to_choice or default_decision_to_choice
+        self.optimizer = Adam(learning_rate=self.config.learning_rate)
+        self.history = TrainingHistory()
+        self._elite: list[EpisodeBuffer] = []
+
+    # -- rollout -------------------------------------------------------------------------
+    def run_episode(self, greedy: bool = False) -> tuple[EpisodeBuffer, ExplorationSession]:
+        """Run one episode with the current policy and return its buffer and session."""
+        buffer = EpisodeBuffer()
+        observation = self.environment.reset()
+        done = False
+        while not done:
+            decision = self.policy.act(observation, greedy=greedy)
+            choice = self.decision_to_choice(decision.indices)
+            result = self.environment.step(choice)
+            buffer.add(decision, result.reward * self.config.reward_scale, result.done)
+            observation = result.observation
+            done = result.done
+        return buffer, self.environment.session
+
+    # -- training ------------------------------------------------------------------------
+    def train(
+        self,
+        episodes: Optional[int] = None,
+        callback: Optional[Callable[[int, float, ExplorationSession], None]] = None,
+    ) -> TrainingHistory:
+        """Train for *episodes* (default from the config) and return the history."""
+        total_episodes = episodes if episodes is not None else self.config.episodes
+        batch: list[EpisodeBuffer] = []
+        for episode in range(total_episodes):
+            buffer, session = self.run_episode(greedy=False)
+            self.history.episode_returns.append(buffer.total_reward())
+            self.history.episode_steps.append(len(buffer))
+            batch.append(buffer)
+            self._maybe_keep_elite(buffer)
+            if callback is not None:
+                callback(episode, buffer.total_reward(), session)
+            if len(batch) >= self.config.batch_episodes:
+                self._update(batch)
+                batch = []
+            if (
+                self.config.greedy_eval_every
+                and (episode + 1) % self.config.greedy_eval_every == 0
+            ):
+                greedy_buffer, _ = self.run_episode(greedy=True)
+                self.history.greedy_returns.append((episode + 1, greedy_buffer.total_reward()))
+        if batch:
+            self._update(batch)
+        return self.history
+
+    def _maybe_keep_elite(self, buffer: EpisodeBuffer) -> None:
+        """Track the best-returning episodes for self-imitation replay."""
+        if self.config.elite_episodes <= 0:
+            return
+        self._elite.append(buffer)
+        self._elite.sort(key=lambda b: b.total_reward(), reverse=True)
+        del self._elite[self.config.elite_episodes :]
+
+    def _update(self, batch: list[EpisodeBuffer]) -> None:
+        """One policy-gradient update over a batch of episodes (plus elite replay)."""
+        decisions: list[PolicyDecision] = []
+        advantages: list[float] = []
+        targets: list[float] = []
+        replay = [b for b in self._elite if not any(b is member for member in batch)]
+        for buffer in list(batch) + replay:
+            returns = buffer.returns(self.config.discount)
+            for transition, ret in zip(buffer.transitions, returns):
+                decisions.append(transition.decision)
+                advantages.append(ret - transition.decision.value)
+                targets.append(ret)
+        if not decisions:
+            return
+        advantage_array = np.asarray(advantages)
+        std = float(advantage_array.std())
+        if std > 1e-8:
+            advantage_array = (advantage_array - advantage_array.mean()) / std
+        self.policy.zero_grad()
+        for decision, advantage, target in zip(decisions, advantage_array, targets):
+            self.policy.accumulate_gradient(
+                decision,
+                float(advantage),
+                float(target),
+                entropy_coefficient=self.config.entropy_coefficient,
+                value_coefficient=self.config.value_coefficient,
+            )
+        self.optimizer.step(self.policy.parameters())
+
+    # -- evaluation ----------------------------------------------------------------------
+    def best_session(self, attempts: int = 5) -> tuple[ExplorationSession, float]:
+        """Return the best greedy/sampled session after training."""
+        best: tuple[ExplorationSession, float] | None = None
+        for attempt in range(max(1, attempts)):
+            buffer, session = self.run_episode(greedy=(attempt == 0))
+            score = buffer.total_reward()
+            if best is None or score > best[1]:
+                best = (session, score)
+        assert best is not None
+        return best

@@ -1,0 +1,21 @@
+"""Simulated user study: rater panel and protocol."""
+
+from .protocol import (
+    SYSTEMS,
+    StudyOutcome,
+    StudyTask,
+    UserStudy,
+    default_study_tasks,
+)
+from .raters import PanelResult, RatingCriteria, SimulatedRaterPanel
+
+__all__ = [
+    "PanelResult",
+    "RatingCriteria",
+    "SYSTEMS",
+    "SimulatedRaterPanel",
+    "StudyOutcome",
+    "StudyTask",
+    "UserStudy",
+    "default_study_tasks",
+]

@@ -1,0 +1,180 @@
+"""The user-study protocol (Section 7.3): systems × goals × datasets.
+
+Runs every compared system (LINX, ATENA, ChatGPT-direct, Google Sheets
+Explorer, human expert) on the study workload — four goals per dataset —
+and aggregates the simulated panel's ratings into the series plotted in
+Figures 5-7 and the per-system insight counts of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.baselines.atena import AtenaAgent, AtenaConfig
+from repro.baselines.chatgpt_direct import ChatGptDirectBaseline
+from repro.baselines.human_expert import HumanExpertBaseline
+from repro.baselines.sheets_explorer import SheetsExplorerBaseline, specification_from_ldx
+from repro.bench.generator import Benchmark, BenchmarkInstance
+from repro.cdrl.agent import CdrlConfig, LinxCdrlAgent
+from repro.dataframe.table import DataTable
+from repro.datasets.registry import load_dataset
+from repro.explore.session import ExplorationSession
+from repro.ldx.ast import LdxQuery
+
+from .raters import PanelResult, SimulatedRaterPanel
+
+#: System names, in the order used by the figures.
+SYSTEMS: tuple[str, ...] = ("Human Expert", "LINX", "ATENA", "ChatGPT", "Google Sheets")
+
+
+@dataclass(frozen=True)
+class StudyTask:
+    """One study task: a goal with its gold LDX over one dataset."""
+
+    dataset: str
+    goal: str
+    ldx_text: str
+    meta_goal_id: int = 0
+
+    @classmethod
+    def from_instance(cls, instance: BenchmarkInstance) -> "StudyTask":
+        return cls(
+            dataset=instance.dataset,
+            goal=instance.goal,
+            ldx_text=instance.ldx_text,
+            meta_goal_id=instance.meta_goal_id,
+        )
+
+
+def default_study_tasks(benchmark: Benchmark, per_dataset: int = 4) -> list[StudyTask]:
+    """Four goals per dataset, spread over distinct meta-goals (the paper's 12 tasks)."""
+    tasks: list[StudyTask] = []
+    for dataset in ("netflix", "flights", "playstore"):
+        seen_meta: set[int] = set()
+        for instance in benchmark.by_dataset(dataset):
+            if instance.meta_goal_id in seen_meta:
+                continue
+            seen_meta.add(instance.meta_goal_id)
+            tasks.append(StudyTask.from_instance(instance))
+            if len(seen_meta) >= per_dataset:
+                break
+    return tasks
+
+
+@dataclass
+class StudyOutcome:
+    """All panel results, indexable by system and dataset."""
+
+    results: list[PanelResult] = field(default_factory=list)
+
+    def by_system(self, system: str) -> list[PanelResult]:
+        return [r for r in self.results if r.system == system]
+
+    def mean(self, system: str, attribute: str, dataset: str | None = None) -> float:
+        values = [
+            getattr(result, attribute)
+            for result in self.by_system(system)
+            if dataset is None or result.dataset == dataset
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def relevance_by_dataset(self) -> dict[str, dict[str, float]]:
+        """Figure 5: system -> dataset -> mean relevance."""
+        datasets = sorted({result.dataset for result in self.results})
+        return {
+            system: {dataset: self.mean(system, "relevance", dataset) for dataset in datasets}
+            for system in SYSTEMS
+        }
+
+    def informativeness_and_comprehensibility(self) -> dict[str, dict[str, float]]:
+        """Figure 7: system -> {informativeness, comprehensibility}."""
+        return {
+            system: {
+                "informativeness": self.mean(system, "informativeness"),
+                "comprehensibility": self.mean(system, "comprehensibility"),
+            }
+            for system in SYSTEMS
+        }
+
+    def insights_per_system(self) -> dict[str, float]:
+        """Figure 6: mean number of goal-relevant insights per system."""
+        return {system: self.mean(system, "relevant_insights") for system in SYSTEMS}
+
+
+SessionGenerator = Callable[[DataTable, StudyTask], Optional[ExplorationSession]]
+
+
+class UserStudy:
+    """Runs the full study: generate sessions per system and collect panel ratings."""
+
+    def __init__(
+        self,
+        panel: SimulatedRaterPanel | None = None,
+        linx_episodes: int = 120,
+        atena_episodes: int = 80,
+        dataset_rows: int | None = 400,
+        systems: tuple[str, ...] = SYSTEMS,
+    ):
+        self.panel = panel or SimulatedRaterPanel()
+        self.linx_episodes = linx_episodes
+        self.atena_episodes = atena_episodes
+        self.dataset_rows = dataset_rows
+        self.systems = systems
+        self._atena_cache: dict[str, ExplorationSession] = {}
+
+    # -- session generation per system --------------------------------------------------
+    def _dataset(self, name: str) -> DataTable:
+        return load_dataset(name, num_rows=self.dataset_rows)
+
+    def _generate(self, system: str, task: StudyTask) -> Optional[ExplorationSession]:
+        dataset = self._dataset(task.dataset)
+        query = LdxQuery
+        if system == "LINX":
+            agent = LinxCdrlAgent(
+                dataset, task.ldx_text, config=CdrlConfig(episodes=self.linx_episodes)
+            )
+            return agent.run().session
+        if system == "ATENA":
+            # ATENA is goal-agnostic: one session per dataset regardless of the goal.
+            if task.dataset not in self._atena_cache:
+                agent = AtenaAgent(dataset, config=AtenaConfig(episodes=self.atena_episodes))
+                self._atena_cache[task.dataset] = agent.run().session
+            return self._atena_cache[task.dataset]
+        if system == "ChatGPT":
+            return ChatGptDirectBaseline().generate(dataset, task.goal)
+        if system == "Google Sheets":
+            from repro.ldx.parser import parse_ldx
+
+            specification = specification_from_ldx(parse_ldx(task.ldx_text), dataset)
+            return SheetsExplorerBaseline().generate(dataset, specification)
+        if system == "Human Expert":
+            return HumanExpertBaseline().generate(dataset, task.ldx_text)
+        raise ValueError(f"unknown system {system!r}")
+
+    # -- protocol -------------------------------------------------------------------------
+    def run(self, tasks: list[StudyTask]) -> StudyOutcome:
+        """Run every system on every task and collect the panel ratings."""
+        from repro.ldx.parser import parse_ldx
+
+        outcome = StudyOutcome()
+        for task in tasks:
+            query = parse_ldx(task.ldx_text)
+            for system in self.systems:
+                session = self._generate(system, task)
+                if session is None:
+                    continue
+                # ChatGPT notebooks come with verbose explanations: the paper notes
+                # their comprehensibility benefits from simple code and documentation.
+                comprehensibility_bonus = 0.15 if system == "ChatGPT" else 0.0
+                outcome.results.append(
+                    self.panel.rate(
+                        system=system,
+                        session=session,
+                        goal=task.goal,
+                        query=query,
+                        dataset_name=task.dataset,
+                        comprehensibility_bonus=comprehensibility_bonus,
+                    )
+                )
+        return outcome

@@ -1,0 +1,155 @@
+"""Simulated user-study rater panel (Section 7.3, Figures 5-7).
+
+Thirty human raters are unavailable offline, so the subjective study is
+simulated: each rater scores a notebook on a 1-7 scale for relevance,
+informativeness and comprehensibility using measurable proxies plus bounded,
+seeded rater noise.
+
+* **Relevance** is driven by the session's compliance with the goal's gold
+  LDX specification (full compliance ≈ what a user would call "answers my
+  question"), with partial credit for structural/operational progress.
+* **Informativeness** is driven by the generic interestingness/diversity of
+  the result views and the number of extractable insights.
+* **Comprehensibility** rewards short, narrative sessions with small result
+  views and penalises very deep or very wide notebooks.
+
+The panel reproduces the orderings of Figures 5-7, not the exact averages.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.explore.reward import GenericExplorationReward
+from repro.explore.session import ExplorationSession
+from repro.ldx.ast import LdxQuery
+from repro.metrics.compliance import compliance_report
+from repro.notebook.insights import extract_insights
+
+
+@dataclass(frozen=True)
+class RatingCriteria:
+    """The 1-7 ratings a participant produces for one notebook."""
+
+    relevance: float
+    informativeness: float
+    comprehensibility: float
+
+
+@dataclass
+class PanelResult:
+    """Averaged ratings over the simulated participant panel."""
+
+    system: str
+    dataset: str
+    goal: str
+    relevance: float
+    informativeness: float
+    comprehensibility: float
+    relevant_insights: float
+    ratings: list[RatingCriteria] = field(default_factory=list)
+
+
+def _scale_to_seven(score: float) -> float:
+    """Map a [0, 1] proxy score onto the 1-7 rating scale."""
+    return 1.0 + 6.0 * max(0.0, min(1.0, score))
+
+
+def _seed_for(*parts: str) -> int:
+    return int(hashlib.sha256("||".join(parts).encode("utf-8")).hexdigest()[:8], 16)
+
+
+class SimulatedRaterPanel:
+    """A panel of simulated participants rating exploration notebooks."""
+
+    def __init__(self, num_raters: int = 30, noise_scale: float = 0.35):
+        self.num_raters = num_raters
+        self.noise_scale = noise_scale
+        self._scorer = GenericExplorationReward()
+
+    # -- proxies -------------------------------------------------------------------------
+    def relevance_proxy(self, session: ExplorationSession, query: LdxQuery | None) -> float:
+        if query is None:
+            return 0.35  # no goal to be relevant to; neutral-low
+        return compliance_report(session, query).relevance_score()
+
+    def informativeness_proxy(self, session: ExplorationSession) -> float:
+        utility = self._scorer.session_score(session)
+        insights = extract_insights(session)
+        insight_component = min(1.0, len(insights) / 5.0)
+        utility_component = max(0.0, min(1.0, utility / 1.5))
+        return 0.55 * utility_component + 0.45 * insight_component
+
+    def comprehensibility_proxy(self, session: ExplorationSession) -> float:
+        nodes = session.query_nodes()
+        if not nodes:
+            return 0.2
+        length_score = 1.0 if len(nodes) <= 8 else max(0.2, 1.0 - (len(nodes) - 8) * 0.1)
+        view_sizes = [len(node.view) for node in nodes]
+        small_views = sum(1 for size in view_sizes if size <= 25)
+        readability = small_views / len(nodes)
+        depth = max(node.depth() for node in nodes)
+        depth_score = 1.0 if depth <= 3 else max(0.3, 1.0 - 0.2 * (depth - 3))
+        return 0.4 * length_score + 0.35 * readability + 0.25 * depth_score
+
+    def goal_relevant_insights(
+        self, session: ExplorationSession, query: LdxQuery | None
+    ) -> float:
+        """Expected number of goal-relevant insights a participant extracts."""
+        insights = extract_insights(session)
+        if query is None:
+            return min(1.0, 0.15 * len(insights))
+        report = compliance_report(session, query)
+        relevance = report.relevance_score()
+        # Contrast insights require the comparison structure the goal asked for;
+        # they only count as relevant when the session actually realises it.
+        weighted = 0.0
+        for insight in insights:
+            weight = 1.0 if insight.kind == "contrast" else 0.6
+            weighted += weight
+        return min(6.0, weighted * relevance)
+
+    # -- panel ----------------------------------------------------------------------------
+    def rate(
+        self,
+        system: str,
+        session: ExplorationSession,
+        goal: str,
+        query: LdxQuery | None,
+        dataset_name: str,
+        comprehensibility_bonus: float = 0.0,
+    ) -> PanelResult:
+        """Simulate the panel rating one notebook."""
+        relevance = self.relevance_proxy(session, query)
+        informativeness = self.informativeness_proxy(session)
+        comprehensibility = min(
+            1.0, self.comprehensibility_proxy(session) + comprehensibility_bonus
+        )
+        rng = np.random.default_rng(_seed_for(system, dataset_name, goal))
+        ratings = []
+        for _ in range(self.num_raters):
+            noise = rng.normal(0.0, self.noise_scale, size=3)
+            ratings.append(
+                RatingCriteria(
+                    relevance=float(np.clip(_scale_to_seven(relevance) + noise[0], 1, 7)),
+                    informativeness=float(
+                        np.clip(_scale_to_seven(informativeness) + noise[1], 1, 7)
+                    ),
+                    comprehensibility=float(
+                        np.clip(_scale_to_seven(comprehensibility) + noise[2], 1, 7)
+                    ),
+                )
+            )
+        return PanelResult(
+            system=system,
+            dataset=dataset_name,
+            goal=goal,
+            relevance=float(np.mean([r.relevance for r in ratings])),
+            informativeness=float(np.mean([r.informativeness for r in ratings])),
+            comprehensibility=float(np.mean([r.comprehensibility for r in ratings])),
+            relevant_insights=self.goal_relevant_insights(session, query),
+            ratings=ratings,
+        )

@@ -1,0 +1,253 @@
+"""Tregex-style pattern matching over ordered labelled trees.
+
+The paper's LDX verification engine (Algorithm 1) relies on a node matching
+primitive ``GetTregexNodeMatches`` that, given a single node specification, a
+tree and a partial node mapping, returns every tree node the specification
+could be assigned to.  This module provides that primitive plus a full
+backtracking matcher (``find_assignments``) used by the structural-only
+checks of the compliance reward (Algorithm 2).
+
+A *pattern* is a set of named :class:`NodePattern` objects connected by
+:class:`StructuralConstraint` edges (child / descendant relations plus
+arity requirements).  Matching produces assignments from pattern names to
+tree nodes such that every label predicate and every structural constraint
+holds, with distinct pattern names mapped to distinct tree nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
+
+from .relations import Relation, get_relation
+from .tree import TreeNode
+
+LabelPredicate = Callable[[Any], bool]
+
+
+@dataclass
+class NodePattern:
+    """A named pattern node with an optional label predicate.
+
+    ``label_predicate`` receives the tree node's label and returns True when
+    the node is an acceptable match.  ``None`` matches any node.
+    """
+
+    name: str
+    label_predicate: Optional[LabelPredicate] = None
+
+    def matches_label(self, node: TreeNode) -> bool:
+        if self.label_predicate is None:
+            return True
+        return bool(self.label_predicate(node.label))
+
+
+@dataclass
+class StructuralConstraint:
+    """``target`` must stand in ``relation`` to ``anchor`` (anchor REL target).
+
+    For the ``child`` relation this means *target is a child of anchor*;
+    for ``descendant`` that *target is a strict descendant of anchor*.
+    """
+
+    anchor: str
+    relation: Relation
+    target: str
+
+    @classmethod
+    def of(cls, anchor: str, relation_name: str, target: str) -> "StructuralConstraint":
+        return cls(anchor=anchor, relation=get_relation(relation_name), target=target)
+
+
+@dataclass
+class ArityConstraint:
+    """The anchor node must have at least ``minimum`` children (or descendants).
+
+    This encodes the anonymous ``+`` entries in LDX ``CHILDREN <B,+>``
+    clauses: the node needs extra, un-named children beyond the named ones.
+    """
+
+    anchor: str
+    minimum: int
+    relation: Relation = field(default_factory=lambda: get_relation("child"))
+
+    def satisfied(self, node: TreeNode) -> bool:
+        return len(self.relation.candidates(node)) >= self.minimum
+
+
+@dataclass
+class TreePattern:
+    """A complete pattern: named nodes, structural edges and arity constraints."""
+
+    nodes: dict[str, NodePattern] = field(default_factory=dict)
+    constraints: list[StructuralConstraint] = field(default_factory=list)
+    arity: list[ArityConstraint] = field(default_factory=list)
+
+    def add_node(self, name: str, label_predicate: Optional[LabelPredicate] = None) -> NodePattern:
+        pattern = NodePattern(name, label_predicate)
+        self.nodes[name] = pattern
+        return pattern
+
+    def add_constraint(self, anchor: str, relation_name: str, target: str) -> None:
+        self.constraints.append(StructuralConstraint.of(anchor, relation_name, target))
+
+    def add_arity(self, anchor: str, minimum: int, relation_name: str = "child") -> None:
+        self.arity.append(ArityConstraint(anchor, minimum, get_relation(relation_name)))
+
+    def names(self) -> list[str]:
+        return list(self.nodes)
+
+
+def node_candidates(
+    root: TreeNode,
+    pattern: TreePattern,
+    name: str,
+    assignment: Mapping[str, TreeNode],
+) -> list[TreeNode]:
+    """``GetTregexNodeMatches``: all tree nodes *name* can map to.
+
+    Respects the partial *assignment*: structural constraints whose other
+    endpoint is already mapped restrict the candidate set, label predicates
+    always apply, and nodes already used for other names are excluded.
+    """
+    if name in assignment:
+        candidate = assignment[name]
+        return [candidate] if _node_acceptable(candidate, pattern, name, assignment) else []
+
+    node_pattern = pattern.nodes[name]
+    used = {id(node) for key, node in assignment.items() if key != name}
+
+    # Start from the most restrictive anchored constraint when available.
+    candidates: Optional[list[TreeNode]] = None
+    for constraint in pattern.constraints:
+        if constraint.target == name and constraint.anchor in assignment:
+            anchored = constraint.relation.candidates(assignment[constraint.anchor])
+            candidates = anchored if candidates is None else [
+                node for node in candidates if node in anchored
+            ]
+        elif constraint.anchor == name and constraint.target in assignment:
+            target_node = assignment[constraint.target]
+            anchored = [
+                node
+                for node in root.preorder()
+                if constraint.relation.holds(node, target_node)
+            ]
+            candidates = anchored if candidates is None else [
+                node for node in candidates if node in anchored
+            ]
+    if candidates is None:
+        candidates = list(root.preorder())
+
+    result = []
+    for node in candidates:
+        if id(node) in used:
+            continue
+        if not node_pattern.matches_label(node):
+            continue
+        if not _arity_ok(node, pattern, name):
+            continue
+        result.append(node)
+    return result
+
+
+def _arity_ok(node: TreeNode, pattern: TreePattern, name: str) -> bool:
+    for constraint in pattern.arity:
+        if constraint.anchor == name and not constraint.satisfied(node):
+            return False
+    return True
+
+
+def _node_acceptable(
+    node: TreeNode,
+    pattern: TreePattern,
+    name: str,
+    assignment: Mapping[str, TreeNode],
+) -> bool:
+    if not pattern.nodes[name].matches_label(node):
+        return False
+    if not _arity_ok(node, pattern, name):
+        return False
+    for constraint in pattern.constraints:
+        if constraint.anchor == name and constraint.target in assignment:
+            if not constraint.relation.holds(node, assignment[constraint.target]):
+                return False
+        if constraint.target == name and constraint.anchor in assignment:
+            if not constraint.relation.holds(assignment[constraint.anchor], node):
+                return False
+    return True
+
+
+def _consistent(
+    pattern: TreePattern, assignment: Mapping[str, TreeNode]
+) -> bool:
+    """Check all constraints whose endpoints are both assigned."""
+    for constraint in pattern.constraints:
+        if constraint.anchor in assignment and constraint.target in assignment:
+            if not constraint.relation.holds(
+                assignment[constraint.anchor], assignment[constraint.target]
+            ):
+                return False
+    for constraint in pattern.arity:
+        if constraint.anchor in assignment and not constraint.satisfied(
+            assignment[constraint.anchor]
+        ):
+            return False
+    # Distinct names must map to distinct nodes.
+    ids = [id(node) for node in assignment.values()]
+    return len(ids) == len(set(ids))
+
+
+def find_assignments(
+    root: TreeNode,
+    pattern: TreePattern,
+    initial: Optional[Mapping[str, TreeNode]] = None,
+    order: Optional[Sequence[str]] = None,
+) -> Iterator[dict[str, TreeNode]]:
+    """Yield every complete assignment of pattern names to tree nodes.
+
+    *initial* seeds the assignment (e.g. ``{"ROOT": tree_root}``); *order*
+    controls the variable ordering of the backtracking search (defaults to
+    most-constrained-first over the remaining names).
+    """
+    assignment: dict[str, TreeNode] = dict(initial or {})
+    if not _consistent(pattern, assignment):
+        return
+    remaining = [name for name in (order or pattern.names()) if name not in assignment]
+
+    def backtrack(pending: list[str]) -> Iterator[dict[str, TreeNode]]:
+        if not pending:
+            yield dict(assignment)
+            return
+        # Most-constrained-first: pick the pending name with fewest candidates.
+        scored = [
+            (len(node_candidates(root, pattern, name, assignment)), name)
+            for name in pending
+        ]
+        scored.sort()
+        _, chosen = scored[0]
+        rest = [name for name in pending if name != chosen]
+        for node in node_candidates(root, pattern, chosen, assignment):
+            assignment[chosen] = node
+            if _consistent(pattern, assignment):
+                yield from backtrack(rest)
+            del assignment[chosen]
+
+    yield from backtrack(remaining)
+
+
+def has_assignment(
+    root: TreeNode,
+    pattern: TreePattern,
+    initial: Optional[Mapping[str, TreeNode]] = None,
+) -> bool:
+    """True when at least one complete assignment exists."""
+    return next(find_assignments(root, pattern, initial), None) is not None
+
+
+def all_assignments(
+    root: TreeNode,
+    pattern: TreePattern,
+    initial: Optional[Mapping[str, TreeNode]] = None,
+) -> list[dict[str, TreeNode]]:
+    """Materialise every assignment (``GetTregexNodeAssg`` in Algorithm 2)."""
+    return list(find_assignments(root, pattern, initial))

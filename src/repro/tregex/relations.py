@@ -1,0 +1,117 @@
+"""Structural relations between tree nodes (the Tregex relation vocabulary).
+
+LDX structural specifications are expressed through relations such as
+``CHILDREN`` and ``DESCENDANTS`` (Section 4.1 of the paper).  Each relation
+is a predicate over an (anchor, candidate) node pair plus an enumerator that
+yields all candidates satisfying the relation for a given anchor — the
+matcher uses the enumerator to avoid scanning the whole tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from .tree import TreeNode
+
+RelationCheck = Callable[[TreeNode, TreeNode], bool]
+RelationEnumerate = Callable[[TreeNode], Iterable[TreeNode]]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A named structural relation between an anchor node and a candidate node."""
+
+    name: str
+    check: RelationCheck
+    enumerate: RelationEnumerate
+
+    def holds(self, anchor: TreeNode, candidate: TreeNode) -> bool:
+        """True when *candidate* stands in this relation to *anchor*."""
+        return self.check(anchor, candidate)
+
+    def candidates(self, anchor: TreeNode) -> list[TreeNode]:
+        """All nodes standing in this relation to *anchor*."""
+        return list(self.enumerate(anchor))
+
+
+def _is_child(anchor: TreeNode, candidate: TreeNode) -> bool:
+    return candidate.parent is anchor
+
+
+def _is_descendant(anchor: TreeNode, candidate: TreeNode) -> bool:
+    node = candidate.parent
+    while node is not None:
+        if node is anchor:
+            return True
+        node = node.parent
+    return False
+
+
+def _is_parent(anchor: TreeNode, candidate: TreeNode) -> bool:
+    return anchor.parent is candidate
+
+
+def _is_ancestor(anchor: TreeNode, candidate: TreeNode) -> bool:
+    return _is_descendant(candidate, anchor)
+
+
+def _is_sibling(anchor: TreeNode, candidate: TreeNode) -> bool:
+    return (
+        candidate is not anchor
+        and anchor.parent is not None
+        and candidate.parent is anchor.parent
+    )
+
+
+def _following_sibling(anchor: TreeNode, candidate: TreeNode) -> bool:
+    if not _is_sibling(anchor, candidate):
+        return False
+    siblings = anchor.parent.children if anchor.parent else []
+    return siblings.index(candidate) > siblings.index(anchor)
+
+
+CHILD = Relation("child", _is_child, lambda anchor: anchor.children)
+DESCENDANT = Relation("descendant", _is_descendant, lambda anchor: anchor.descendants())
+PARENT = Relation(
+    "parent", _is_parent, lambda anchor: [anchor.parent] if anchor.parent else []
+)
+ANCESTOR = Relation("ancestor", _is_ancestor, lambda anchor: anchor.ancestors())
+SIBLING = Relation(
+    "sibling",
+    _is_sibling,
+    lambda anchor: [
+        node
+        for node in (anchor.parent.children if anchor.parent else [])
+        if node is not anchor
+    ],
+)
+FOLLOWING_SIBLING = Relation(
+    "following-sibling",
+    _following_sibling,
+    lambda anchor: (
+        anchor.parent.children[anchor.parent.children.index(anchor) + 1 :]
+        if anchor.parent
+        else []
+    ),
+)
+
+#: Registry of relations by name, including the LDX keyword spellings.
+RELATIONS: dict[str, Relation] = {
+    "child": CHILD,
+    "children": CHILD,
+    "descendant": DESCENDANT,
+    "descendants": DESCENDANT,
+    "parent": PARENT,
+    "ancestor": ANCESTOR,
+    "sibling": SIBLING,
+    "following-sibling": FOLLOWING_SIBLING,
+}
+
+
+def get_relation(name: str) -> Relation:
+    """Look up a relation by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in RELATIONS:
+        raise KeyError(f"unknown tree relation {name!r}; known: {sorted(set(RELATIONS))}")
+    return RELATIONS[key]

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataframe import DataTable
+from repro.explore import (
+    BackOperation,
+    FilterOperation,
+    GroupAggOperation,
+    session_from_operations,
+)
+from repro.ldx import parse_ldx
+
+#: LDX query used throughout: the "atypical country" comparison of Figure 1c.
+COMPARISON_LDX = """
+ROOT CHILDREN <B1,B2>
+B1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {C1}
+C1 LIKE [G,(?<Y>.*),count,.*]
+B2 LIKE [F,country,neq,(?<X>.*)] and CHILDREN {C2}
+C2 LIKE [G,(?<Y>.*),count,.*]
+"""
+
+
+@pytest.fixture
+def small_table() -> DataTable:
+    """A tiny Netflix-like table with known contents."""
+    return DataTable(
+        {
+            "country": ["India", "US", "US", "India", "UK", "US", "India", "UK"],
+            "type": ["Movie", "TV Show", "TV Show", "Movie", "TV Show", "TV Show", "Movie", "Movie"],
+            "rating": ["TV-14", "TV-MA", "TV-MA", "TV-14", "TV-MA", "PG", "TV-14", "R"],
+            "duration": [100, 50, 90, 110, 45, 95, 120, 105],
+        },
+        name="netflix_mini",
+    )
+
+
+@pytest.fixture
+def comparison_query():
+    """Parsed comparison LDX query (eq / neq branches with shared continuity)."""
+    return parse_ldx(COMPARISON_LDX)
+
+
+@pytest.fixture
+def compliant_session(small_table):
+    """A session that fully complies with :data:`COMPARISON_LDX`."""
+    return session_from_operations(
+        small_table,
+        [
+            FilterOperation("country", "eq", "India"),
+            GroupAggOperation("type", "count", "type"),
+            BackOperation(2),
+            FilterOperation("country", "neq", "India"),
+            GroupAggOperation("type", "count", "type"),
+        ],
+    )
+
+
+@pytest.fixture
+def noncompliant_session(small_table):
+    """A session with the wrong structure (a single chain)."""
+    return session_from_operations(
+        small_table,
+        [
+            FilterOperation("country", "eq", "India"),
+            GroupAggOperation("type", "count", "type"),
+            GroupAggOperation("type", "count", "type"),
+        ],
+    )

@@ -1,0 +1,141 @@
+"""Tests for the typed column implementation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dataframe.column import Column, coerce_value, infer_dtype, is_null
+from repro.dataframe.errors import TypeMismatchError
+
+
+class TestDtypeInference:
+    def test_all_ints(self):
+        assert infer_dtype([1, 2, 3]) == "int"
+
+    def test_mixed_int_float(self):
+        assert infer_dtype([1, 2.5]) == "float"
+
+    def test_strings(self):
+        assert infer_dtype(["a", "b"]) == "str"
+
+    def test_mixed_numeric_and_string_is_str(self):
+        assert infer_dtype([1, "a"]) == "str"
+
+    def test_all_null_defaults_to_str(self):
+        assert infer_dtype([None, None]) == "str"
+
+    def test_bools_are_strings(self):
+        assert infer_dtype([True, False]) == "str"
+
+    def test_nulls_ignored(self):
+        assert infer_dtype([None, 3, None]) == "int"
+
+
+class TestNullHandling:
+    @pytest.mark.parametrize("value", [None, float("nan"), ""])
+    def test_is_null_true(self, value):
+        assert is_null(value)
+
+    @pytest.mark.parametrize("value", [0, 0.0, "x", "0", -1])
+    def test_is_null_false(self, value):
+        assert not is_null(value)
+
+    def test_null_count(self):
+        column = Column("x", [1, None, 3, None])
+        assert column.null_count() == 2
+        assert column.non_null() == [1, 3]
+
+
+class TestCoercion:
+    def test_coerce_to_int(self):
+        assert coerce_value("3", "int") == 3
+        assert coerce_value(3.7, "int") == 3
+
+    def test_coerce_to_float(self):
+        assert coerce_value("3.5", "float") == 3.5
+
+    def test_coerce_to_str(self):
+        assert coerce_value(3, "str") == "3"
+
+    def test_coerce_null_returns_none(self):
+        assert coerce_value(None, "int") is None
+
+    def test_invalid_coercion_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value("abc", "int")
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Column("x", [1], dtype="datetime")
+
+
+class TestColumnOperations:
+    def test_length_and_iteration(self):
+        column = Column("x", [1, 2, 3])
+        assert len(column) == 3
+        assert list(column) == [1, 2, 3]
+
+    def test_unique_preserves_order(self):
+        column = Column("x", ["b", "a", "b", "c", "a"])
+        assert column.unique() == ["b", "a", "c"]
+
+    def test_value_counts(self):
+        column = Column("x", ["a", "b", "a", None])
+        assert column.value_counts() == {"a": 2, "b": 1}
+
+    def test_take(self):
+        column = Column("x", [10, 20, 30, 40])
+        assert list(column.take([2, 0])) == [30, 10]
+
+    def test_rename_shares_values(self):
+        column = Column("x", [1, 2])
+        renamed = column.rename("y")
+        assert renamed.name == "y"
+        assert list(renamed) == [1, 2]
+
+    def test_min_max_mean_sum(self):
+        column = Column("x", [3, 1, None, 5])
+        assert column.min() == 1
+        assert column.max() == 5
+        assert column.sum() == 9
+        assert column.mean() == 3
+
+    def test_mean_on_string_column_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Column("x", ["a", "b"]).mean()
+
+    def test_equality_and_hash(self):
+        a = Column("x", [1, 2])
+        b = Column("x", [1, 2])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_cast(self):
+        column = Column("x", [1, 2]).cast("str")
+        assert column.dtype == "str"
+        assert list(column) == ["1", "2"]
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=50))
+def test_property_sum_matches_python_sum(values):
+    column = Column("x", values)
+    assert column.sum() == sum(values)
+    assert column.min() == min(values)
+    assert column.max() == max(values)
+
+
+@given(st.lists(st.one_of(st.none(), st.integers(-50, 50)), max_size=40))
+def test_property_null_count_plus_non_null_equals_length(values):
+    column = Column("x", values)
+    assert column.null_count() + len(column.non_null()) == len(column)
+
+
+@given(st.lists(st.text(min_size=1, max_size=5), min_size=1, max_size=40))
+def test_property_unique_is_set_of_values(values):
+    column = Column("x", values)
+    assert set(column.unique()) == set(values)
+    assert column.nunique() == len(set(values))

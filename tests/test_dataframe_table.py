@@ -1,0 +1,202 @@
+"""Tests for the DataTable engine: filtering, grouping, sorting, IO."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dataframe import (
+    AggregationError,
+    ColumnNotFoundError,
+    DataTable,
+    Predicate,
+    SchemaError,
+    concat_rows,
+    read_delimited_text,
+    table_to_csv_text,
+)
+
+
+@pytest.fixture
+def table() -> DataTable:
+    return DataTable(
+        {
+            "city": ["Rome", "Oslo", "Rome", "Lima", "Oslo", "Rome"],
+            "temp": [30, 5, 28, 22, 7, 31],
+            "rain": [0.1, 2.0, 0.0, 1.2, 1.8, 0.2],
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_mapping(self, table):
+        assert table.num_rows == 6
+        assert table.columns == ["city", "temp", "rain"]
+
+    def test_from_records_missing_keys_become_null(self):
+        table = DataTable.from_records([{"a": 1}, {"a": 2, "b": "x"}])
+        assert table.column("b")[0] is None
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(SchemaError):
+            DataTable({"a": [1, 2], "b": [1]})
+
+    def test_duplicate_columns_raise(self):
+        from repro.dataframe.column import Column
+
+        with pytest.raises(SchemaError):
+            DataTable([Column("a", [1]), Column("a", [2])])
+
+    def test_empty_table(self):
+        table = DataTable.empty(["a", "b"])
+        assert len(table) == 0
+        assert table.columns == ["a", "b"]
+
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(ColumnNotFoundError):
+            table.column("humidity")
+
+
+class TestFilter:
+    def test_filter_eq(self, table):
+        result = table.filter(Predicate("city", "eq", "Rome"))
+        assert len(result) == 3
+        assert set(result.column("city")) == {"Rome"}
+
+    def test_filter_numeric_comparison(self, table):
+        result = table.filter(Predicate("temp", "ge", 22))
+        assert len(result) == 4
+
+    def test_filter_neq(self, table):
+        result = table.filter(Predicate("city", "neq", "Rome"))
+        assert len(result) == 3
+
+    def test_filter_contains_case_insensitive(self, table):
+        result = table.filter(Predicate("city", "contains", "os"))
+        assert set(result.column("city")) == {"Oslo"}
+
+    def test_filter_rows_mask(self, table):
+        result = table.filter_rows([True, False, True, False, False, False])
+        assert len(result) == 2
+
+    def test_filter_rows_bad_mask_length(self, table):
+        with pytest.raises(SchemaError):
+            table.filter_rows([True])
+
+    def test_filter_returns_new_table(self, table):
+        before = len(table)
+        table.filter(Predicate("city", "eq", "Rome"))
+        assert len(table) == before
+
+
+class TestGroupByAgg:
+    def test_count(self, table):
+        result = table.groupby_agg("city", "count")
+        counts = {row["city"]: row["count"] for row in result.rows()}
+        assert counts == {"Rome": 3, "Oslo": 2, "Lima": 1}
+
+    def test_mean(self, table):
+        result = table.groupby_agg("city", "mean", "temp")
+        means = {row["city"]: row["mean_temp"] for row in result.rows()}
+        assert means["Oslo"] == pytest.approx(6.0)
+
+    def test_sum_and_sorting_descending(self, table):
+        result = table.groupby_agg("city", "sum", "temp")
+        values = [row["sum_temp"] for row in result.rows()]
+        assert values == sorted(values, reverse=True)
+
+    def test_sum_on_string_column_raises(self, table):
+        with pytest.raises(AggregationError):
+            table.groupby_agg("city", "sum", "city")
+
+    def test_alias_cnt_and_avg(self, table):
+        assert "count" in table.groupby_agg("city", "CNT").columns
+        assert "mean_temp" in table.groupby_agg("city", "AVG", "temp").columns
+
+    def test_nunique(self, table):
+        result = table.groupby_agg("city", "nunique", "temp")
+        values = {row["city"]: row["nunique_temp"] for row in result.rows()}
+        assert values["Rome"] == 3
+
+    def test_null_keys_skipped(self):
+        table = DataTable({"k": ["a", None, "a"], "v": [1, 2, 3]})
+        result = table.groupby_agg("k", "count")
+        assert len(result) == 1
+
+
+class TestSortSelectDescribe:
+    def test_sort_ascending(self, table):
+        result = table.sort_by("temp")
+        assert list(result.column("temp")) == sorted(table.column("temp"))
+
+    def test_sort_descending_nulls_last(self):
+        table = DataTable({"x": [3, None, 1]})
+        result = table.sort_by("x", descending=True)
+        assert list(result.column("x")) == [3, 1, None]
+
+    def test_select(self, table):
+        assert table.select(["temp"]).columns == ["temp"]
+
+    def test_head(self, table):
+        assert len(table.head(2)) == 2
+
+    def test_describe_numeric_and_categorical(self, table):
+        summary = table.describe()
+        assert summary["temp"]["min"] == 5
+        assert summary["city"]["top"] == "Rome"
+
+    def test_numeric_and_categorical_columns(self, table):
+        assert set(table.numeric_columns()) == {"temp", "rain"}
+        assert table.categorical_columns() == ["city"]
+
+    def test_sample_values_deterministic(self, table):
+        assert table.sample_values("city", 2, seed=1) == table.sample_values("city", 2, seed=1)
+
+
+class TestConcatAndIO:
+    def test_concat_rows(self, table):
+        doubled = concat_rows([table, table])
+        assert len(doubled) == 2 * len(table)
+
+    def test_concat_schema_mismatch(self, table):
+        other = DataTable({"x": [1]})
+        with pytest.raises(SchemaError):
+            concat_rows([table, other])
+
+    def test_csv_roundtrip_via_text(self, table):
+        text = table_to_csv_text(table)
+        parsed = read_delimited_text(text)
+        assert parsed.columns == table.columns
+        assert len(parsed) == len(table)
+        assert list(parsed.column("temp")) == list(table.column("temp"))
+
+    def test_read_delimited_infers_types(self):
+        parsed = read_delimited_text("a,b,c\n1,2.5,x\n3,4.5,y\n")
+        assert parsed.schema() == {"a": "int", "b": "float", "c": "str"}
+
+    def test_read_delimited_empty_cells_are_null(self):
+        parsed = read_delimited_text("a,b\n1,\n,2\n")
+        assert parsed.column("a")[1] is None
+        assert parsed.column("b")[0] is None
+
+
+# -- property-based invariants -------------------------------------------------------------
+
+@given(
+    st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=60),
+    st.lists(st.integers(0, 100), min_size=1, max_size=60),
+)
+def test_property_groupby_count_partitions_rows(keys, values):
+    length = min(len(keys), len(values))
+    table = DataTable({"k": keys[:length], "v": values[:length]})
+    grouped = table.groupby_agg("k", "count")
+    assert sum(row["count"] for row in grouped.rows()) == length
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=60))
+def test_property_filter_partitions_table(values):
+    table = DataTable({"v": values})
+    low = table.filter(Predicate("v", "lt", 0))
+    high = table.filter(Predicate("v", "ge", 0))
+    assert len(low) + len(high) == len(table)

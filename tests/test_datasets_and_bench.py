@@ -1,0 +1,147 @@
+"""Tests for the synthetic datasets and the goal-oriented ADE benchmark."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    META_GOALS,
+    exemplar_instances,
+    generate_benchmark,
+    meta_goal_by_id,
+    paraphrase,
+    paraphrases,
+    total_target_instances,
+)
+from repro.datasets import (
+    dataset_names,
+    dataset_schema_description,
+    generate_flights,
+    generate_netflix,
+    generate_playstore,
+    load_dataset,
+)
+from repro.datasets.flights import SCHEMA as FLIGHTS_SCHEMA
+from repro.datasets.netflix import SCHEMA as NETFLIX_SCHEMA
+from repro.datasets.playstore import SCHEMA as PLAYSTORE_SCHEMA
+
+
+class TestDatasets:
+    def test_registry_names(self):
+        assert set(dataset_names()) == {"netflix", "flights", "playstore"}
+
+    def test_netflix_schema_and_size(self):
+        table = generate_netflix(num_rows=300, seed=1)
+        assert table.columns == list(NETFLIX_SCHEMA)
+        assert len(table) == 300
+
+    def test_netflix_headline_properties(self):
+        table = generate_netflix(num_rows=1500, seed=3)
+        countries = table.value_counts("country")
+        assert max(countries, key=countries.get) == "United States"
+        india = table.filter_rows([c == "India" for c in table.column("country")])
+        india_movies = india.value_counts("type").get("Movie", 0)
+        assert india_movies / max(1, len(india)) > 0.8
+        india_ratings = india.value_counts("rating")
+        assert max(india_ratings, key=india_ratings.get) == "TV-14"
+
+    def test_flights_schema_and_delay_structure(self):
+        table = generate_flights(num_rows=800, seed=2)
+        assert table.columns == list(FLIGHTS_SCHEMA)
+        reasons = set(table.distinct("delay_reason"))
+        assert "weather" in reasons and "none" in reasons
+        assert set(table.distinct("month")) <= set(range(1, 13))
+
+    def test_playstore_schema_and_popular_apps_free(self):
+        table = generate_playstore(num_rows=800, seed=2)
+        assert table.columns == list(PLAYSTORE_SCHEMA)
+        popular = table.filter_rows([v >= 1_000_000 for v in table.column("installs")])
+        free = sum(1 for p in popular.column("price") if p == 0.0)
+        assert free / max(1, len(popular)) > 0.85
+
+    def test_generation_is_deterministic(self):
+        a = generate_netflix(num_rows=100, seed=5)
+        b = generate_netflix(num_rows=100, seed=5)
+        assert a.to_columns() == b.to_columns()
+
+    def test_load_dataset_caches(self):
+        a = load_dataset("netflix", num_rows=120)
+        b = load_dataset("netflix", num_rows=120)
+        assert a is b
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("imdb")
+
+    def test_schema_description_contains_columns(self):
+        description = dataset_schema_description("playstore")
+        assert "category" in description and "Sample rows" in description
+
+
+class TestParaphrase:
+    def test_paraphrase_deterministic(self):
+        goal = "Find an atypical country"
+        assert paraphrase(goal, 1) == paraphrase(goal, 1)
+
+    def test_paraphrases_are_distinct(self):
+        results = paraphrases("Examine characteristics of successful TV shows", 4)
+        assert len(results) == len(set(results)) >= 3
+
+    def test_paraphrase_keeps_key_terms(self):
+        goal = "Survey the price attribute of the data"
+        assert "price" in paraphrase(goal, 2).lower()
+
+
+class TestBenchmark:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_benchmark()
+
+    def test_total_instances_matches_paper(self, corpus):
+        assert len(corpus) == 182
+        assert total_target_instances() == 182
+
+    def test_counts_per_meta_goal_match_table1(self, corpus):
+        expected = {1: 18, 2: 16, 3: 22, 4: 21, 5: 27, 6: 22, 7: 28, 8: 28}
+        assert corpus.counts_per_meta_goal() == expected
+
+    def test_all_gold_ldx_parse(self, corpus):
+        for instance in corpus.instances:
+            query = instance.ldx_query()
+            assert query.required_operations() >= 1
+
+    def test_instances_cover_all_datasets(self, corpus):
+        for dataset in ("netflix", "flights", "playstore"):
+            assert len(corpus.by_dataset(dataset)) > 0
+
+    def test_goal_texts_are_non_empty_and_varied(self, corpus):
+        goals = [instance.goal for instance in corpus.instances]
+        assert all(goal.strip() for goal in goals)
+        assert len(set(goals)) > 100
+
+    def test_overview_rows_match_meta_goals(self, corpus):
+        rows = corpus.overview_rows()
+        assert len(rows) == len(META_GOALS)
+        assert sum(row["instances"] for row in rows) == 182
+
+    def test_exemplar_instances_one_per_meta_goal(self, corpus):
+        exemplars = exemplar_instances(corpus)
+        assert len(exemplars) == 8
+        assert {e.meta_goal_id for e in exemplars} == set(range(1, 9))
+
+    def test_meta_goal_lookup(self):
+        assert meta_goal_by_id(1).name == "Identify an uncommon entity"
+        with pytest.raises(KeyError):
+            meta_goal_by_id(99)
+
+    def test_gold_ldx_attributes_exist_in_datasets(self, corpus):
+        from repro.ldx.patterns import FIELD_LITERAL
+
+        for instance in corpus.instances:
+            table = load_dataset(instance.dataset)
+            for spec in instance.ldx_query().operational_specs():
+                fields = spec.operation.fields
+                if fields and fields[0].kind == FIELD_LITERAL:
+                    assert fields[0].value in table.columns, (
+                        f"{instance.instance_id}: {fields[0].value} not in {instance.dataset}"
+                    )

@@ -1,0 +1,200 @@
+"""Tests for the LDX verification engine and the partial/look-ahead variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import (
+    BackOperation,
+    FilterOperation,
+    GroupAggOperation,
+    session_from_operations,
+)
+from repro.ldx import (
+    can_still_comply,
+    catalan_number,
+    count_completions,
+    enumerate_completions,
+    find_assignment,
+    operational_match_ratio,
+    parse_ldx,
+    partial_structural_ratio,
+    structural_assignments,
+    verify,
+    verify_structure,
+)
+
+
+class TestFullVerification:
+    def test_compliant_session_verifies(self, compliant_session, comparison_query):
+        assert verify(compliant_session.to_tree(), comparison_query)
+
+    def test_noncompliant_structure_fails(self, noncompliant_session, comparison_query):
+        assert not verify(noncompliant_session.to_tree(), comparison_query)
+
+    def test_continuity_violation_fails(self, small_table, comparison_query):
+        # Both branches must filter on the same country value (variable X).
+        session = session_from_operations(
+            small_table,
+            [
+                FilterOperation("country", "eq", "India"),
+                GroupAggOperation("type", "count", "type"),
+                BackOperation(2),
+                FilterOperation("country", "neq", "US"),  # different term: X mismatch
+                GroupAggOperation("type", "count", "type"),
+            ],
+        )
+        assert verify_structure(session.to_tree(), comparison_query)
+        assert not verify(session.to_tree(), comparison_query)
+
+    def test_group_continuity_violation_fails(self, small_table, comparison_query):
+        # Both group-bys must use the same column (variable Y).
+        session = session_from_operations(
+            small_table,
+            [
+                FilterOperation("country", "eq", "India"),
+                GroupAggOperation("type", "count", "type"),
+                BackOperation(2),
+                FilterOperation("country", "neq", "India"),
+                GroupAggOperation("rating", "count", "rating"),
+            ],
+        )
+        assert not verify(session.to_tree(), comparison_query)
+
+    def test_extra_operations_still_comply(self, small_table, comparison_query):
+        session = session_from_operations(
+            small_table,
+            [
+                FilterOperation("country", "eq", "India"),
+                GroupAggOperation("type", "count", "type"),
+                BackOperation(2),
+                FilterOperation("country", "neq", "India"),
+                GroupAggOperation("type", "count", "type"),
+                BackOperation(1),
+                GroupAggOperation("rating", "count", "rating"),  # extra unnamed node
+            ],
+        )
+        assert verify(session.to_tree(), comparison_query)
+
+    def test_find_assignment_binds_continuity(self, compliant_session, comparison_query):
+        assignment = find_assignment(compliant_session.to_tree(), comparison_query)
+        assert assignment is not None
+        assert assignment.continuity["X"] == "India"
+        assert assignment.continuity["Y"] == "type"
+        assert set(assignment.nodes) == {"ROOT", "B1", "C1", "B2", "C2"}
+
+    def test_wrong_operation_kind_fails(self, small_table):
+        query = parse_ldx("ROOT CHILDREN <A>\nA LIKE [G,country,count,.*]")
+        session = session_from_operations(
+            small_table, [FilterOperation("country", "eq", "India")]
+        )
+        assert not verify(session.to_tree(), query)
+
+    def test_descendants_allows_deep_match(self, small_table):
+        query = parse_ldx("ROOT DESCENDANTS <A>\nA LIKE [G,type,count,.*]")
+        session = session_from_operations(
+            small_table,
+            [FilterOperation("country", "eq", "US"), GroupAggOperation("type", "count", "type")],
+        )
+        assert verify(session.to_tree(), query)
+
+    def test_children_requires_direct_child(self, small_table):
+        query = parse_ldx("ROOT CHILDREN <A>\nA LIKE [G,type,count,.*]")
+        session = session_from_operations(
+            small_table,
+            [FilterOperation("country", "eq", "US"), GroupAggOperation("type", "count", "type")],
+        )
+        assert not verify(session.to_tree(), query)
+
+
+class TestStructuralVerification:
+    def test_structural_assignments_found(self, compliant_session, comparison_query):
+        assignments = structural_assignments(compliant_session.to_tree(), comparison_query)
+        assert len(assignments) >= 1
+
+    def test_operational_ratio_full(self, compliant_session, comparison_query):
+        assert operational_match_ratio(compliant_session.to_tree(), comparison_query) == 1.0
+
+    def test_operational_ratio_partial(self, small_table, comparison_query):
+        # Right structure but the filters target the wrong attribute.
+        session = session_from_operations(
+            small_table,
+            [
+                FilterOperation("type", "eq", "Movie"),
+                GroupAggOperation("rating", "count", "rating"),
+                BackOperation(2),
+                FilterOperation("type", "neq", "Movie"),
+                GroupAggOperation("rating", "count", "rating"),
+            ],
+        )
+        ratio = operational_match_ratio(session.to_tree(), comparison_query)
+        assert 0.0 < ratio < 1.0
+
+    def test_partial_structural_ratio_monotone(self, small_table, comparison_query):
+        empty = session_from_operations(small_table, [])
+        one_branch = session_from_operations(
+            small_table,
+            [FilterOperation("country", "eq", "India"), GroupAggOperation("type", "count", "type")],
+        )
+        full = session_from_operations(
+            small_table,
+            [
+                FilterOperation("country", "eq", "India"),
+                GroupAggOperation("type", "count", "type"),
+                BackOperation(2),
+                FilterOperation("country", "neq", "India"),
+                GroupAggOperation("type", "count", "type"),
+            ],
+        )
+        r_empty = partial_structural_ratio(empty.to_tree(), comparison_query)
+        r_half = partial_structural_ratio(one_branch.to_tree(), comparison_query)
+        r_full = partial_structural_ratio(full.to_tree(), comparison_query)
+        assert r_empty <= r_half <= r_full
+        assert r_full == 1.0
+
+
+class TestPartialLookahead:
+    def test_catalan_numbers(self):
+        assert [catalan_number(n) for n in range(6)] == [1, 1, 2, 5, 14, 42]
+
+    def test_catalan_negative_raises(self):
+        with pytest.raises(ValueError):
+            catalan_number(-1)
+
+    def test_completion_counts_follow_catalan_growth(self, small_table):
+        session = session_from_operations(
+            small_table, [FilterOperation("country", "eq", "India")]
+        )
+        tree = session.to_tree()
+        counts = [count_completions(tree, k) for k in range(4)]
+        assert counts == [1, 2, 5, 14]
+        assert all(
+            count <= catalan_number(k + 2) for k, count in enumerate(counts)
+        )
+
+    def test_completions_preserve_original(self, small_table):
+        session = session_from_operations(
+            small_table, [FilterOperation("country", "eq", "India")]
+        )
+        tree = session.to_tree()
+        size_before = tree.size()
+        list(enumerate_completions(tree, 2))
+        assert tree.size() == size_before
+
+    def test_can_still_comply_true_with_enough_steps(self, small_table, comparison_query):
+        session = session_from_operations(
+            small_table, [FilterOperation("country", "eq", "India")]
+        )
+        assert can_still_comply(session.to_tree(), comparison_query, remaining_steps=3)
+
+    def test_cannot_comply_with_too_few_steps(self, small_table, comparison_query):
+        session = session_from_operations(
+            small_table, [FilterOperation("country", "eq", "India")]
+        )
+        # Needs at least three more nodes (C1, B2, C2); one is not enough.
+        assert not can_still_comply(session.to_tree(), comparison_query, remaining_steps=1)
+
+    def test_already_compliant_session_trivially_complies(
+        self, compliant_session, comparison_query
+    ):
+        assert can_still_comply(compliant_session.to_tree(), comparison_query, 0)

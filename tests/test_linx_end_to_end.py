@@ -1,0 +1,68 @@
+"""End-to-end tests for the LINX facade (goal → specifications → notebook)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Linx
+from repro.cdrl import CdrlConfig
+from repro.dataframe import DataTable
+from repro.ldx import try_parse_ldx
+
+
+@pytest.fixture(scope="module")
+def linx() -> Linx:
+    # Small training budget: the specification-aware guidance makes compliant
+    # sessions reachable even with few episodes.
+    return Linx(cdrl_config=CdrlConfig(episodes=30, seed=3))
+
+
+@pytest.fixture
+def netflix_mini() -> DataTable:
+    return DataTable(
+        {
+            "country": ["India", "US", "US", "India", "UK", "US", "India", "UK", "US", "India"],
+            "type": ["Movie"] * 4 + ["TV Show"] * 3 + ["Movie"] * 3,
+            "rating": ["TV-14", "TV-MA", "TV-MA", "TV-14", "TV-MA", "PG", "TV-14", "R", "TV-MA", "TV-14"],
+            "duration": [100, 50, 90, 110, 45, 95, 120, 105, 80, 99],
+        },
+        name="netflix",
+    )
+
+
+class TestSpecificationDerivation:
+    def test_derived_specs_parse(self, linx):
+        ldx_text = linx.derive_specifications(
+            "netflix", "Find a country with different viewing habits than the rest of the world"
+        )
+        assert try_parse_ldx(ldx_text) is not None
+
+    def test_derivation_mentions_goal_attribute(self, linx):
+        ldx_text = linx.derive_specifications("playstore", "Survey the price attribute of the data")
+        assert "price" in ldx_text
+
+
+class TestEndToEnd:
+    def test_explore_with_explicit_ldx(self, linx, netflix_mini, comparison_query):
+        output = linx.explore(
+            netflix_mini,
+            "Find a country with different viewing habits than the rest of the world",
+            ldx_text=comparison_query.render(),
+        )
+        assert output.session.num_queries() >= 4
+        assert output.fully_compliant
+        assert "## Step" in output.markdown()
+        assert output.insights
+
+    def test_explore_derives_specs_when_missing(self, linx, netflix_mini):
+        output = linx.explore(
+            netflix_mini, "Find a country with different viewing habits than the rest of the world"
+        )
+        assert output.query is not None
+        assert output.session.num_queries() >= 1
+        assert output.notebook.cells
+
+    def test_malformed_ldx_falls_back(self, linx, netflix_mini):
+        output = linx.explore(netflix_mini, "whatever goal", ldx_text="THIS IS NOT LDX (((")
+        assert output.query is not None
+        assert output.session.num_queries() >= 1

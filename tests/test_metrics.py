@@ -1,0 +1,143 @@
+"""Tests for the evaluation metrics: lev2, xTED and compliance reports."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ldx import parse_ldx
+from repro.metrics import (
+    compliance_report,
+    lev2_score,
+    levenshtein,
+    normalised_levenshtein,
+    normalised_tree_edit_distance,
+    operation_label_distance,
+    tree_edit_distance,
+    two_way_levenshtein,
+    xted_score,
+)
+from repro.tregex import build_tree
+
+GOLD = """
+ROOT CHILDREN <A1,A2>
+A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}
+B1 LIKE [G,(?<Y>.*),count,.*]
+A2 LIKE [F,country,neq,(?<X>.*)] and CHILDREN {B2}
+B2 LIKE [G,(?<Y>.*),count,.*]
+"""
+
+SIMILAR = """
+ROOT CHILDREN <A1,A2>
+A1 LIKE [F,country,eq,(?<V>.*)] and CHILDREN {B1}
+B1 LIKE [G,(?<W>.*),count,.*]
+A2 LIKE [F,country,neq,(?<V>.*)] and CHILDREN {B2}
+B2 LIKE [G,(?<W>.*),count,.*]
+"""
+
+DIFFERENT = """
+ROOT CHILDREN <A1>
+A1 LIKE [G,rating,mean,duration]
+"""
+
+
+class TestLevenshtein:
+    def test_identical_strings(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_single_edit(self):
+        assert levenshtein("kitten", "sitten") == 1
+
+    def test_empty_strings(self):
+        assert levenshtein("", "abc") == 3
+        assert normalised_levenshtein("", "") == 0.0
+
+    @given(st.text(max_size=15), st.text(max_size=15))
+    def test_property_symmetry_and_bounds(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+        assert 0 <= normalised_levenshtein(a, b) <= 1
+
+    @given(st.text(max_size=12))
+    def test_property_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+
+class TestLev2:
+    def test_identical_queries_score_one(self):
+        assert lev2_score(GOLD, GOLD) == pytest.approx(1.0)
+
+    def test_continuity_renaming_scores_high(self):
+        assert lev2_score(GOLD, SIMILAR) > 0.9
+
+    def test_different_query_scores_lower(self):
+        assert lev2_score(GOLD, DIFFERENT) < lev2_score(GOLD, SIMILAR)
+
+    def test_unparsable_prediction_scores_zero(self):
+        assert lev2_score(GOLD, "NOT LDX AT ALL (((") == 0.0
+        assert lev2_score(GOLD, None) == 0.0
+
+    def test_two_way_distance_symmetric_enough(self):
+        gold = parse_ldx(GOLD)
+        other = parse_ldx(DIFFERENT)
+        assert 0 <= two_way_levenshtein(gold, other) <= 1
+
+    def test_bad_gold_raises(self):
+        with pytest.raises(ValueError):
+            lev2_score("not ldx (((", GOLD)
+
+
+class TestTreeEdit:
+    def test_identical_trees_distance_zero(self):
+        tree = build_tree(("r", [("a", []), ("b", [])]))
+        assert tree_edit_distance(tree, tree.copy()) == 0.0
+
+    def test_insertion_costs_one(self):
+        small = build_tree(("r", [("a", [])]))
+        larger = build_tree(("r", [("a", []), ("b", [])]))
+        assert tree_edit_distance(small, larger) == pytest.approx(1.0)
+
+    def test_label_distance_kind_mismatch(self):
+        assert operation_label_distance(("F", "country"), ("G", "country")) == 1.0
+
+    def test_label_distance_parameter_mismatch(self):
+        distance = operation_label_distance(
+            ("F", "country", "eq", "India"), ("F", "country", "eq", "US")
+        )
+        assert 0 < distance < 1
+
+    def test_normalised_distance_bounds(self):
+        a = build_tree(("r", [("a", []), ("b", [("c", [])])]))
+        b = build_tree(("r", []))
+        assert 0 <= normalised_tree_edit_distance(a, b) <= 1
+
+    def test_xted_identical_is_one(self):
+        assert xted_score(GOLD, GOLD) == pytest.approx(1.0)
+
+    def test_xted_masks_continuity_names(self):
+        assert xted_score(GOLD, SIMILAR) == pytest.approx(1.0)
+
+    def test_xted_penalises_structure_difference(self):
+        assert xted_score(GOLD, DIFFERENT) < 0.8
+
+    def test_xted_unparsable_is_zero(self):
+        assert xted_score(GOLD, "((((") == 0.0
+
+
+class TestComplianceReport:
+    def test_compliant_session_report(self, compliant_session, comparison_query):
+        report = compliance_report(compliant_session, comparison_query)
+        assert report.fully_compliant
+        assert report.relevance_score() == 1.0
+
+    def test_noncompliant_session_report(self, noncompliant_session, comparison_query):
+        report = compliance_report(noncompliant_session, comparison_query)
+        assert not report.fully_compliant
+        assert 0 <= report.relevance_score() < 1.0
+
+    def test_relevance_monotone_in_compliance(
+        self, compliant_session, noncompliant_session, comparison_query
+    ):
+        full = compliance_report(compliant_session, comparison_query).relevance_score()
+        partial = compliance_report(noncompliant_session, comparison_query).relevance_score()
+        assert full > partial

@@ -1,0 +1,162 @@
+"""Tests for the tree substrate and the Tregex-style matcher."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tregex import (
+    TreeNode,
+    TreePattern,
+    all_assignments,
+    build_tree,
+    find_assignments,
+    get_relation,
+    has_assignment,
+    node_candidates,
+    parent_child_pairs,
+)
+
+
+@pytest.fixture
+def sample_tree() -> TreeNode:
+    #        root
+    #       /    \
+    #      a      b
+    #     / \      \
+    #    c   d      e
+    return build_tree(("root", [("a", ["c", "d"]), ("b", ["e"])]))
+
+
+class TestTreeNode:
+    def test_preorder_order(self, sample_tree):
+        labels = [node.label for node in sample_tree.preorder()]
+        assert labels == ["root", "a", "c", "d", "b", "e"]
+
+    def test_size_and_height(self, sample_tree):
+        assert sample_tree.size() == 6
+        assert sample_tree.height() == 2
+
+    def test_depth_and_ancestors(self, sample_tree):
+        c = sample_tree.children[0].children[0]
+        assert c.depth() == 2
+        assert [node.label for node in c.ancestors()] == ["a", "root"]
+
+    def test_descendants(self, sample_tree):
+        assert len(sample_tree.descendants()) == 5
+
+    def test_copy_is_structurally_equal_but_independent(self, sample_tree):
+        clone = sample_tree.copy()
+        assert clone.structurally_equal(sample_tree)
+        clone.new_child("extra")
+        assert not clone.structurally_equal(sample_tree)
+
+    def test_parent_child_pairs(self, sample_tree):
+        assert len(parent_child_pairs(sample_tree)) == 5
+
+    def test_render_contains_all_labels(self, sample_tree):
+        rendered = sample_tree.render()
+        for label in ("root", "a", "b", "c", "d", "e"):
+            assert label in rendered
+
+    def test_root_and_index_nodes(self, sample_tree):
+        leaf = sample_tree.children[1].children[0]
+        assert leaf.root() is sample_tree
+        mapping = sample_tree.index_nodes()
+        assert mapping[0] is sample_tree
+
+
+class TestRelations:
+    def test_child_relation(self, sample_tree):
+        child = get_relation("children")
+        a = sample_tree.children[0]
+        assert child.holds(sample_tree, a)
+        assert not child.holds(a, sample_tree)
+
+    def test_descendant_relation(self, sample_tree):
+        descendant = get_relation("descendants")
+        c = sample_tree.children[0].children[0]
+        assert descendant.holds(sample_tree, c)
+        assert not descendant.holds(c, sample_tree)
+
+    def test_sibling_relation(self, sample_tree):
+        sibling = get_relation("sibling")
+        a, b = sample_tree.children
+        assert sibling.holds(a, b)
+        assert not sibling.holds(a, a)
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(KeyError):
+            get_relation("cousin")
+
+
+class TestMatcher:
+    def test_simple_child_pattern(self, sample_tree):
+        pattern = TreePattern()
+        pattern.add_node("R", lambda label: label == "root")
+        pattern.add_node("X", lambda label: label == "a")
+        pattern.add_constraint("R", "children", "X")
+        assert has_assignment(sample_tree, pattern)
+
+    def test_descendant_pattern(self, sample_tree):
+        pattern = TreePattern()
+        pattern.add_node("R", lambda label: label == "root")
+        pattern.add_node("X", lambda label: label == "e")
+        pattern.add_constraint("R", "descendants", "X")
+        assert has_assignment(sample_tree, pattern)
+
+    def test_unsatisfiable_pattern(self, sample_tree):
+        pattern = TreePattern()
+        pattern.add_node("X", lambda label: label == "zzz")
+        assert not has_assignment(sample_tree, pattern)
+
+    def test_all_assignments_count(self, sample_tree):
+        pattern = TreePattern()
+        pattern.add_node("R", lambda label: label == "root")
+        pattern.add_node("X")  # any node except those already used
+        pattern.add_constraint("R", "children", "X")
+        assignments = all_assignments(sample_tree, pattern, initial={"R": sample_tree})
+        assert len(assignments) == 2  # a and b
+
+    def test_distinct_nodes_constraint(self, sample_tree):
+        pattern = TreePattern()
+        pattern.add_node("X", lambda label: label == "a")
+        pattern.add_node("Y", lambda label: label == "a")
+        assert not has_assignment(sample_tree, pattern)
+
+    def test_arity_constraint(self, sample_tree):
+        pattern = TreePattern()
+        pattern.add_node("X")
+        pattern.add_arity("X", 2)
+        candidates = node_candidates(sample_tree, pattern, "X", {})
+        assert {node.label for node in candidates} == {"root", "a"}
+
+    def test_initial_assignment_respected(self, sample_tree):
+        pattern = TreePattern()
+        pattern.add_node("R")
+        pattern.add_node("X")
+        pattern.add_constraint("R", "children", "X")
+        b = sample_tree.children[1]
+        assignments = list(find_assignments(sample_tree, pattern, initial={"R": b}))
+        assert len(assignments) == 1
+        assert assignments[0]["X"].label == "e"
+
+    def test_inconsistent_initial_assignment(self, sample_tree):
+        pattern = TreePattern()
+        pattern.add_node("R")
+        pattern.add_node("X")
+        pattern.add_constraint("R", "children", "X")
+        c = sample_tree.children[0].children[0]
+        assert not has_assignment(sample_tree, pattern, initial={"R": c, "X": sample_tree})
+
+
+@given(st.integers(min_value=1, max_value=8))
+def test_property_chain_tree_size_and_height(depth):
+    root = TreeNode(0)
+    node = root
+    for i in range(1, depth):
+        node = node.new_child(i)
+    assert root.size() == depth
+    assert root.height() == depth - 1
+    assert len(list(root.preorder())) == depth
