@@ -1,0 +1,160 @@
+"""Benchmark — memoized query execution vs. the uncached baseline.
+
+Measures the :class:`~repro.explore.cache.ExecutionCache` on the two
+workloads the exploration agents actually run:
+
+* **repeated-episode rollouts** — the same factored action sequences are
+  replayed across episodes (as the policy's behaviour stabilises during
+  training); reports steps/sec with and without the cache;
+* **a standard training workload** — a short LINX-CDRL training run (the
+  paper's specification-constrained agent) whose environment keeps one
+  shared cache; reports the cache hit-rate.
+
+Acceptance gates (enforced as assertions, run in CI):
+
+* cached rollouts reach >= 3x the uncached steps/sec,
+* the training workload sees >= 50% cache hit-rate,
+* cached results are identical to uncached execution (same sessions,
+  row for row).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import print_table, scale
+
+from repro.cdrl import CdrlConfig, LinxCdrlAgent
+from repro.datasets import load_dataset
+from repro.explore import ActionChoice, ExplorationEnvironment
+
+#: Minimum cached/uncached steps-per-second ratio (acceptance criterion).
+#: Wall-clock ratios are load-sensitive, so noisy shared runners may lower
+#: the gate via REPRO_BENCH_MIN_SPEEDUP; the hit-rate and identical-results
+#: assertions stay deterministic and always gate.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+
+#: Minimum cache hit-rate on the training workload (acceptance criterion).
+MIN_HIT_RATE = 0.5
+
+EPISODE_LENGTH = 6
+DISTINCT_EPISODES = 8
+
+
+def _episode_choices(num_episodes: int, length: int, seed: int = 7) -> list[list[ActionChoice]]:
+    """Deterministic pseudo-random factored choices (LCG; no RNG imports)."""
+    state = seed
+    episodes: list[list[ActionChoice]] = []
+    for _ in range(num_episodes):
+        choices: list[ActionChoice] = []
+        for _ in range(length):
+            state = (1103515245 * state + 12345) % (2**31)
+            choices.append(
+                ActionChoice(
+                    action_type=1 + state % 2,
+                    filter_attr=(state >> 3) % 97,
+                    filter_op=(state >> 5) % 7,
+                    filter_term=(state >> 7) % 13,
+                    group_attr=(state >> 9) % 11,
+                    agg_func=(state >> 11) % 5,
+                    agg_attr=(state >> 13) % 5,
+                )
+            )
+        episodes.append(choices)
+    return episodes
+
+
+def _steps_per_second(env: ExplorationEnvironment, episodes, repeats: int) -> float:
+    steps = 0
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for choices in episodes:
+            env.rollout(choices)
+            steps += len(choices)
+    return steps / (time.perf_counter() - start)
+
+
+def _sessions_identical(a, b) -> bool:
+    """Row-for-row equality of two sessions' trees (views included)."""
+    nodes_a, nodes_b = a.query_nodes(), b.query_nodes()
+    if len(nodes_a) != len(nodes_b):
+        return False
+    for node_a, node_b in zip(nodes_a, nodes_b):
+        if node_a.signature() != node_b.signature():
+            return False
+        if node_a.view != node_b.view or node_a.view.to_records() != node_b.view.to_records():
+            return False
+    return True
+
+
+def _run_cache_benchmark():
+    dataset = load_dataset("flights", num_rows=scale(600, 3000))
+    episodes = _episode_choices(DISTINCT_EPISODES, EPISODE_LENGTH)
+    repeats = scale(8, 40)
+
+    uncached_env = ExplorationEnvironment(
+        dataset, episode_length=EPISODE_LENGTH, enable_cache=False
+    )
+    cached_env = ExplorationEnvironment(dataset, episode_length=EPISODE_LENGTH)
+
+    # Correctness first: cached replay must reproduce the uncached sessions.
+    identical = True
+    for choices in episodes:
+        session_uncached, _ = uncached_env.rollout(choices)
+        session_cached, _ = cached_env.rollout(choices)
+        identical = identical and _sessions_identical(session_uncached, session_cached)
+
+    # Warm-up pass for both arms, then timed passes.
+    _steps_per_second(uncached_env, episodes, 1)
+    _steps_per_second(cached_env, episodes, 1)
+    uncached_sps = _steps_per_second(uncached_env, episodes, repeats)
+    cached_sps = _steps_per_second(cached_env, episodes, repeats)
+    rollout_stats = cached_env.cache_stats()
+
+    # Standard training workload: a short LINX-CDRL run on its own shared
+    # cache (fresh, so the hit-rate is not inherited from the rollouts).
+    training_dataset = load_dataset("netflix", num_rows=scale(600, 2000))
+    ldx = (
+        "ROOT CHILDREN <B1,B2>\n"
+        "B1 LIKE [F,type,eq,(?<X>.*)] and CHILDREN {C1}\n"
+        "C1 LIKE [G,(?<Y>.*),count,.*]\n"
+        "B2 LIKE [F,type,neq,(?<X>.*)] and CHILDREN {C2}\n"
+        "C2 LIKE [G,(?<Y>.*),count,.*]\n"
+    )
+    agent = LinxCdrlAgent(
+        training_dataset,
+        ldx,
+        config=CdrlConfig(episodes=scale(30, 150), seed=0, hidden_sizes=(16,)),
+    )
+    history = agent.run().history
+    training_stats = history.cache_stats or {}
+
+    return [
+        {
+            "workload": "repeated rollouts",
+            "uncached_steps_per_s": round(uncached_sps, 1),
+            "cached_steps_per_s": round(cached_sps, 1),
+            "speedup": round(cached_sps / uncached_sps, 2),
+            "hit_rate": rollout_stats["hit_rate"],
+            "identical_results": identical,
+        },
+        {
+            "workload": "CDRL training",
+            "uncached_steps_per_s": "n/a",
+            "cached_steps_per_s": "n/a",
+            "speedup": "n/a",
+            "hit_rate": training_stats.get("hit_rate", 0.0),
+            "identical_results": "n/a",
+        },
+    ]
+
+
+def test_exec_cache_speedup(benchmark):
+    rows = benchmark.pedantic(_run_cache_benchmark, iterations=1, rounds=1)
+    print_table("Execution cache: steps/sec and hit-rate", rows)
+    rollout_row, training_row = rows
+    assert rollout_row["identical_results"] is True
+    assert rollout_row["speedup"] >= MIN_SPEEDUP
+    assert rollout_row["hit_rate"] >= MIN_HIT_RATE
+    assert training_row["hit_rate"] >= MIN_HIT_RATE

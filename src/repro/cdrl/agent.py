@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.dataframe.table import DataTable
 from repro.explore.action_space import ActionSpace
+from repro.explore.cache import ExecutionCache
 from repro.explore.environment import ExplorationEnvironment
 from repro.explore.reward import GenericExplorationReward
 from repro.explore.session import ExplorationSession
@@ -42,6 +43,11 @@ class CdrlConfig:
     graded_eos_reward: bool = True
     immediate_reward: bool = True
     specification_aware_network: bool = True
+    #: Mask statically-invalid actions at the policy level (schema-only
+    #: validity masks from the environment; no queries are executed).
+    mask_invalid_actions: bool = True
+    #: Memoise query execution across episodes via a shared ExecutionCache.
+    cache_execution: bool = True
     trainer: TrainerConfig = field(default_factory=TrainerConfig)
     compliance: ComplianceRewardConfig = field(default_factory=ComplianceRewardConfig)
 
@@ -94,11 +100,16 @@ class LinxCdrlAgent:
             graded_eos=self.config.graded_eos_reward,
             use_immediate=self.config.immediate_reward,
         )
+        # One execution cache is shared by training rollouts and evaluation,
+        # so repeated (view, operation) pairs across episodes reuse results.
+        self.cache = ExecutionCache() if self.config.cache_execution else None
         self.environment = ExplorationEnvironment(
             dataset=dataset,
             episode_length=episode_length,
             reward_strategy=self.reward_strategy,
             action_space=self.action_space,
+            cache=self.cache,
+            enable_cache=self.config.cache_execution,
         )
         observation_size = self.environment.observation_size()
         if self.config.specification_aware_network:
@@ -121,6 +132,10 @@ class LinxCdrlAgent:
                 seed=self.config.seed,
             )
             decision_to_choice = None
+        if self.config.mask_invalid_actions:
+            # Schema-only validity masks: invalid parameter choices get zero
+            # probability without ever executing a query.
+            self.policy.mask_provider = self.environment.head_mask
         trainer_config = TrainerConfig(
             episodes=self.config.episodes,
             seed=self.config.seed,

@@ -5,6 +5,12 @@ Three logical dtypes are supported -- ``int``, ``float`` and ``str`` -- which
 is all the LINX exploration operators (filter, group-by, aggregate) require.
 Columns are deliberately immutable: every transformation returns a new
 column, which keeps exploration-tree views independent of each other.
+
+Immutability also makes per-instance memoisation sound: derived statistics
+(``unique``, ``value_counts``, ``null_count``, ``min``/``max`` and the hash)
+are computed once and cached, so the exploration reward and observation
+featurisation -- which revisit the same views thousands of times during
+training -- pay the O(n) scan only on first touch.
 """
 
 from __future__ import annotations
@@ -99,7 +105,18 @@ class Column:
         One of ``int``, ``float``, ``str``.  When omitted it is inferred.
     """
 
-    __slots__ = ("name", "dtype", "_values")
+    __slots__ = (
+        "name",
+        "dtype",
+        "_values",
+        # Lazily-populated memo slots; ``rename``/``take`` bypass __init__ so
+        # every accessor tolerates the slot being unset (AttributeError).
+        "_memo_unique",
+        "_memo_counts",
+        "_memo_nulls",
+        "_memo_minmax",
+        "_memo_hash",
+    )
 
     def __init__(self, name: str, values: Sequence[Any], dtype: str | None = None):
         if dtype is None:
@@ -130,7 +147,11 @@ class Column:
         )
 
     def __hash__(self) -> int:
-        return hash((self.name, self.dtype, self._values))
+        try:
+            return self._memo_hash
+        except AttributeError:
+            self._memo_hash = hash((self.name, self.dtype, self._values))
+            return self._memo_hash
 
     def __repr__(self) -> str:
         preview = ", ".join(repr(v) for v in self._values[:5])
@@ -149,33 +170,51 @@ class Column:
         return self.dtype in _NUMERIC_DTYPES
 
     def null_count(self) -> int:
-        """Number of missing values."""
-        return sum(1 for v in self._values if v is None)
+        """Number of missing values (memoised)."""
+        try:
+            return self._memo_nulls
+        except AttributeError:
+            self._memo_nulls = sum(1 for v in self._values if v is None)
+            return self._memo_nulls
 
     def non_null(self) -> list[Any]:
         """All non-null values, in order."""
         return [v for v in self._values if v is not None]
 
     def unique(self) -> list[Any]:
-        """Distinct non-null values in first-appearance order."""
-        seen: dict[Any, None] = {}
-        for value in self._values:
-            if value is not None and value not in seen:
-                seen[value] = None
-        return list(seen)
+        """Distinct non-null values in first-appearance order (memoised)."""
+        try:
+            memo = self._memo_unique
+        except AttributeError:
+            seen: dict[Any, None] = {}
+            for value in self._values:
+                if value is not None and value not in seen:
+                    seen[value] = None
+            memo = self._memo_unique = tuple(seen)
+        return list(memo)
 
     def value_counts(self) -> dict[Any, int]:
-        """Mapping of non-null value -> number of occurrences."""
-        counts: dict[Any, int] = {}
-        for value in self._values:
-            if value is None:
-                continue
-            counts[value] = counts.get(value, 0) + 1
-        return counts
+        """Mapping of non-null value -> number of occurrences (memoised).
+
+        A fresh dict is returned on every call so callers may mutate it.
+        """
+        try:
+            memo = self._memo_counts
+        except AttributeError:
+            counts: dict[Any, int] = {}
+            for value in self._values:
+                if value is None:
+                    continue
+                counts[value] = counts.get(value, 0) + 1
+            memo = self._memo_counts = counts
+        return dict(memo)
 
     def nunique(self) -> int:
         """Number of distinct non-null values."""
-        return len(self.unique())
+        try:
+            return len(self._memo_unique)
+        except AttributeError:
+            return len(self.unique())
 
     # -- transformations -----------------------------------------------------------
     def rename(self, name: str) -> "Column":
@@ -199,13 +238,19 @@ class Column:
         return Column(self.name, self._values, dtype=dtype)
 
     # -- statistics ----------------------------------------------------------------
+    def _minmax(self) -> tuple[Any, Any]:
+        try:
+            return self._memo_minmax
+        except AttributeError:
+            values = self.non_null()
+            self._memo_minmax = (min(values), max(values)) if values else (None, None)
+            return self._memo_minmax
+
     def min(self) -> Any:
-        values = self.non_null()
-        return min(values) if values else None
+        return self._minmax()[0]
 
     def max(self) -> Any:
-        values = self.non_null()
-        return max(values) if values else None
+        return self._minmax()[1]
 
     def sum(self) -> float | int | None:
         if not self.is_numeric:

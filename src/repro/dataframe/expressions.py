@@ -81,6 +81,15 @@ def _compare_numeric(op: str, value: Any, term: Any) -> bool:
     raise FilterError(f"unsupported numeric operator {op!r}")
 
 
+#: Comparator callables used by the columnar fast path in :meth:`Predicate.mask`.
+_NUMERIC_COMPARATORS: dict[str, Callable[[float, float], bool]] = {
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+}
+
+
 def _values_equal(value: Any, term: Any) -> bool:
     if isinstance(value, (int, float)) and not isinstance(value, bool):
         try:
@@ -128,8 +137,66 @@ class Predicate:
         raise FilterError(f"unsupported operator {op!r}")
 
     def mask(self, column: Column) -> list[bool]:
-        """Evaluate the predicate over every row of *column*."""
-        return [self.evaluate(value) for value in column]
+        """Evaluate the predicate over every row of *column*.
+
+        This is the single-pass columnar fast path: the operator dispatch and
+        the term coercion happen once per column instead of once per cell, and
+        the loop body specialises on the column dtype.  Semantics are
+        identical to calling :meth:`evaluate` per cell (nulls never match).
+        """
+        op = self.op
+        term = self.term
+        values = column.values
+        if op in ("gt", "ge", "lt", "le"):
+            try:
+                rhs = float(term)
+            except (TypeError, ValueError):
+                return [False] * len(values)
+            compare = _NUMERIC_COMPARATORS[op]
+            out: list[bool] = []
+            append = out.append
+            for v in values:
+                if v is None:
+                    append(False)
+                    continue
+                try:
+                    lhs = float(v)
+                except (TypeError, ValueError):
+                    append(False)
+                    continue
+                append(compare(lhs, rhs))
+            return out
+        if op in ("eq", "neq"):
+            want = op == "eq"
+            term_str = str(term)
+            try:
+                term_num = float(term)
+            except (TypeError, ValueError):
+                term_num = None
+            out = []
+            append = out.append
+            # Dispatch on the cell's type (not the column dtype) so
+            # dtype-bypassed mixed columns behave exactly like evaluate().
+            for v in values:
+                if v is None:
+                    append(False)
+                elif (
+                    term_num is not None
+                    and isinstance(v, (int, float))
+                    and not isinstance(v, bool)
+                ):
+                    append((float(v) == term_num) == want)
+                else:
+                    append((str(v) == term_str) == want)
+            return out
+        needle = str(term).lower()
+        if op == "contains":
+            return [v is not None and needle in str(v).lower() for v in values]
+        if op == "startswith":
+            return [v is not None and str(v).lower().startswith(needle) for v in values]
+        if op == "endswith":
+            return [v is not None and str(v).lower().endswith(needle) for v in values]
+        raise FilterError(f"unsupported operator {op!r}")
 
     def describe(self) -> str:
         """Human readable rendering used in notebooks, e.g. ``country = India``."""

@@ -11,10 +11,20 @@ exactly the operations the paper's exploration model requires:
 
 Tables are immutable: each operation returns a new table, so every node of
 an exploration tree holds an independent view of the data.
+
+Immutability enables two per-instance memoisations used by the memoized
+execution subsystem (:mod:`repro.explore.cache`):
+
+* :meth:`DataTable.fingerprint` — a cheap content fingerprint (schema,
+  length and a per-column content digest) computed once and reused as the
+  cache key for repeated ``(view, operation)`` executions;
+* a group-index map per group-by column, so several aggregate functions
+  over the same view share one grouping pass.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Mapping, Sequence
 from typing import Any
 
@@ -55,6 +65,9 @@ class DataTable:
             raise SchemaError(f"duplicate column names: {names}")
         self._columns: dict[str, Column] = {c.name: c for c in cols}
         self._length = lengths.pop() if lengths else 0
+        # Per-instance memos (sound because tables are immutable).
+        self._fingerprint: tuple | None = None
+        self._group_rows: dict[str, tuple[list[Any], dict[Any, list[int]]]] = {}
 
     # -- constructors ---------------------------------------------------------------
     @classmethod
@@ -114,6 +127,34 @@ class DataTable:
         """Mapping of column name -> dtype."""
         return {name: col.dtype for name, col in self._columns.items()}
 
+    def fingerprint(self) -> tuple:
+        """A cheap, hashable content fingerprint of this table.
+
+        Combines the table name, row count, schema and a 128-bit blake2b
+        digest of every column's canonical value representation.  Tables
+        that are equal (same name, schema and values) share a fingerprint,
+        so it can key execution caches across distinct-but-identical view
+        objects; distinct contents get distinct digests (Python's ``hash``
+        is deliberately avoided — ``hash(-1) == hash(-2)`` would alias
+        views).  Computed once per instance.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            for column in self._columns.values():
+                digest.update(repr((column.name, column.dtype)).encode())
+                values = column.values
+                # Digest in fixed-size chunks so huge columns never repr()
+                # into one giant transient string.
+                for start in range(0, len(values), 8192):
+                    digest.update(repr(values[start : start + 8192]).encode())
+            self._fingerprint = (
+                self.name,
+                self._length,
+                tuple((c.name, c.dtype) for c in self._columns.values()),
+                digest.digest(),
+            )
+        return self._fingerprint
+
     def column(self, name: str) -> Column:
         """Return the named column, raising :class:`ColumnNotFoundError` if absent."""
         if name not in self._columns:
@@ -171,13 +212,25 @@ class DataTable:
         return self._take(indices)
 
     def sort_by(self, column: str, descending: bool = False) -> "DataTable":
-        """Sort rows by *column*; nulls sort last regardless of direction."""
+        """Sort rows by *column*; nulls sort last regardless of direction.
+
+        The sort key is type-aware so mixed-type columns (e.g. ints and
+        strings in one column, as external adapters can produce) order
+        deterministically instead of raising ``TypeError`` mid-episode:
+        ascending puts numbers first, then everything else by its string
+        form; ``descending`` reverses that bucket order too (strings before
+        numbers), with nulls last either way.
+        """
         col = self.column(column)
         keyed = list(range(self._length))
 
         def key(i: int):
             value = col[i]
-            return (value is None, value if value is not None else 0)
+            if value is None:
+                return (1, 0, 0.0, "")
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return (0, 0, value, "")
+            return (0, 1, 0.0, str(value))
 
         keyed.sort(key=key, reverse=descending)
         if descending:
@@ -186,6 +239,31 @@ class DataTable:
             nulls = [i for i in keyed if col[i] is None]
             keyed = non_null + nulls
         return self._take(keyed)
+
+    def _group_index(self, group_column: str) -> tuple[list[Any], dict[Any, list[int]]]:
+        """Row indices of each non-null group key, memoised per column.
+
+        Returns ``(order, rows)`` where *order* lists the keys in
+        first-appearance order and ``rows[key]`` holds the row indices of
+        that group.  The map is computed once per (table, column) and reused
+        by every aggregate function applied to the same view.
+        """
+        cached = self._group_rows.get(group_column)
+        if cached is None:
+            key_col = self._columns[group_column]
+            order: list[Any] = []
+            rows: dict[Any, list[int]] = {}
+            for i, key in enumerate(key_col.values):
+                if key is None:
+                    continue
+                bucket = rows.get(key)
+                if bucket is None:
+                    rows[key] = bucket = []
+                    order.append(key)
+                bucket.append(i)
+            cached = (order, rows)
+            self._group_rows[group_column] = cached
+        return cached
 
     def groupby_agg(
         self,
@@ -196,13 +274,15 @@ class DataTable:
         """Group by *group_column* and aggregate *agg_column* with *agg_func*.
 
         The result has two columns: the group key and a column named
-        ``{agg_func}_{agg_column}`` (or ``count`` for bare counts).  Groups are
-        returned ordered by descending aggregate value, then by key, which
-        mirrors the presentation order in the paper's notebooks.
+        ``{agg_func}_{agg_column}`` -- ``count`` for counts over the group
+        key itself and ``count_{agg_column}`` for counts over another
+        column.  Groups are returned ordered by descending aggregate value,
+        then by key, which mirrors the presentation order in the paper's
+        notebooks.
         """
         func = canonical_agg(agg_func)
-        key_col = self.column(group_column)
-        if agg_column is None or func == "count" and agg_column == group_column:
+        self.column(group_column)  # validate early for a clear error
+        if agg_column is None:
             agg_column = group_column
         value_col = self.column(agg_column)
         if numeric_only(func) and not value_col.is_numeric:
@@ -210,23 +290,19 @@ class DataTable:
                 f"{func}() on non-numeric column {agg_column!r} (dtype {value_col.dtype})"
             )
 
-        groups: dict[Any, list[Any]] = {}
-        order: list[Any] = []
-        for i in range(self._length):
-            key = key_col[i]
-            if key is None:
-                continue
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(value_col[i])
-
-        result_name = "count" if func == "count" and agg_column == group_column else f"{func}_{agg_column}"
+        order, rows = self._group_index(group_column)
+        raw_values = value_col.values
+        if func == "count":
+            result_name = "count" if agg_column == group_column else f"count_{agg_column}"
+        else:
+            result_name = f"{func}_{agg_column}"
         keys: list[Any] = []
         values: list[Any] = []
         for key in order:
             keys.append(key)
-            values.append(apply_aggregation(func, groups[key]))
+            values.append(
+                apply_aggregation(func, [raw_values[i] for i in rows[key]])
+            )
 
         table = DataTable({group_column: keys, result_name: values}, name=self.name)
         # Present the largest groups first, which is how analysts read them.

@@ -9,6 +9,7 @@ from .action_space import (
     ActionSpace,
     choice_from_indices,
 )
+from .cache import CacheStats, ExecutionCache
 from .diversity import operation_distance, result_distance, session_diversity
 from .environment import (
     ExplorationEnvironment,
@@ -43,6 +44,8 @@ __all__ = [
     "ActionChoice",
     "ActionSpace",
     "BackOperation",
+    "CacheStats",
+    "ExecutionCache",
     "ExecutionError",
     "ExplorationEnvironment",
     "ExplorationSession",

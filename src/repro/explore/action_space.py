@@ -20,6 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+import numpy as np
+
+from repro.dataframe.aggregates import numeric_only
 from repro.dataframe.table import DataTable
 
 from .operations import (
@@ -126,6 +129,60 @@ class ActionSpace:
             len(self.group_attributes) * len(self.agg_functions) * len(self.agg_attributes)
         )
         return 1 + filter_count + group_count
+
+    # -- validity masking ----------------------------------------------------------------
+    def valid_mask(self, view: DataTable) -> dict[str, np.ndarray]:
+        """Batched, schema-only validity masks for every softmax head.
+
+        For the given *view* (the current session node), returns one boolean
+        array per head in :meth:`head_sizes` where ``True`` marks choices
+        that can decode into an executable operation.  The check mirrors
+        :meth:`QueryExecutor.can_execute` — column presence plus dtype
+        constraints — and never executes a query, so environments and
+        policies can mask invalid actions on every step for free.
+
+        Per-head masks are exact for this action space: filter operators and
+        terms are always applicable once the attribute is present, and
+        aggregate attributes come from the dataset's numeric columns, whose
+        dtype is preserved in every derived view.  ``count`` decodes with
+        ``agg_attr = group_attr``, so it is valid whenever any group
+        attribute is.
+        """
+        filter_attr = np.array([attr in view for attr in self.attributes], dtype=bool)
+        group_attr = np.array(
+            [attr in view for attr in self.group_attributes], dtype=bool
+        )
+        agg_attr = np.array([attr in view for attr in self.agg_attributes], dtype=bool)
+        numeric_agg_attr = np.array(
+            [
+                attr in view and view.column(attr).is_numeric
+                for attr in self.agg_attributes
+            ],
+            dtype=bool,
+        )
+        any_group = bool(group_attr.any())
+        agg_func = np.array(
+            [
+                any_group
+                if func == "count"
+                else bool((numeric_agg_attr if numeric_only(func) else agg_attr).any())
+                for func in self.agg_functions
+            ],
+            dtype=bool,
+        )
+        action_type = np.array(
+            [True, bool(filter_attr.any()), any_group and bool(agg_func.any())],
+            dtype=bool,
+        )
+        return {
+            "action_type": action_type,
+            "filter_attr": filter_attr,
+            "filter_op": np.ones(len(self.filter_operators), dtype=bool),
+            "filter_term": np.ones(TERMS_PER_ATTRIBUTE, dtype=bool),
+            "group_attr": group_attr,
+            "agg_func": agg_func,
+            "agg_attr": agg_attr,
+        }
 
     # -- decoding ------------------------------------------------------------------------
     def term_for(self, attr: str, index: int) -> Any:

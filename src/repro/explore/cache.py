@@ -1,0 +1,134 @@
+"""Memoized query execution: an LRU cache of ``(view, operation)`` results.
+
+The exploration agents take thousands of MDP steps per training run, and the
+factored action space is small enough that the same parametric operation is
+applied to the same view over and over across episodes.  Because
+:class:`~repro.dataframe.table.DataTable` views are immutable, the result of
+executing an operation on a view is a pure function of
+
+* the view's content fingerprint (:meth:`DataTable.fingerprint` — name, row
+  count, schema and a per-column content digest, computed once per
+  instance), and
+* the operation's positional :meth:`Operation.signature`.
+
+:class:`ExecutionCache` memoises those results in an LRU map.  A cache hit
+returns the *same* immutable ``DataTable`` object that the original execution
+produced, so repeated episodes share views (and all the per-view memoised
+statistics that hang off them) instead of re-scanning the data.
+
+Only successful executions are cached.  Validity testing does not need the
+cache at all any more: :meth:`QueryExecutor.can_execute` is a static,
+schema-only check and :meth:`ActionSpace.valid_mask` batches it per head for
+policy-side action masking.
+
+The cache is deliberately unsynchronised (the trainers are single-threaded);
+wrap it if you share one across threads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.dataframe.table import DataTable
+
+from .operations import Operation
+
+#: Default maximum number of cached result views.
+DEFAULT_MAX_ENTRIES = 4096
+
+#: Cache key: (view fingerprint, operation signature).
+CacheKey = tuple[tuple, tuple[str, ...]]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of an :class:`ExecutionCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class ExecutionCache:
+    """LRU cache mapping ``(view fingerprint, operation signature)`` -> result view.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on cached results; the least recently used entry is
+        evicted when the bound is exceeded.  Must be positive.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, DataTable]" = OrderedDict()
+
+    @staticmethod
+    def key_for(view: DataTable, operation: Operation) -> CacheKey:
+        """The cache key of executing *operation* against *view*."""
+        return (view.fingerprint(), operation.signature())
+
+    def get(self, view: DataTable, operation: Operation) -> DataTable | None:
+        """The cached result view, or ``None`` (counts a hit or a miss)."""
+        key = self.key_for(view, operation)
+        result = self._entries.get(key)
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return result
+
+    def put(self, view: DataTable, operation: Operation, result: DataTable) -> None:
+        """Store the result of executing *operation* on *view*."""
+        key = self.key_for(view, operation)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        self._entries.clear()
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses}, "
+            f"hit_rate={self.stats.hit_rate:.2%})"
+        )

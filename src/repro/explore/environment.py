@@ -5,6 +5,13 @@ ongoing exploration session, actions are parametric query operations (or
 back), the transition function executes the operation, and the reward is
 supplied by a pluggable reward strategy (the generic ATENA reward for the
 goal-agnostic baseline; the bi-objective CDRL reward for LINX).
+
+Two hot-path services ride along with the MDP itself: query execution is
+memoised through an :class:`~repro.explore.cache.ExecutionCache` (enabled by
+default, shareable across environments), and action validity is decided
+statically — :meth:`QueryExecutor.can_execute` before executing, and
+:meth:`action_masks` / :meth:`head_mask` for policies that mask invalid
+actions at the distribution level.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import numpy as np
 from repro.dataframe.table import DataTable
 
 from .action_space import ActionChoice, ActionSpace
+from .cache import ExecutionCache
 from .executor import ExecutionError, QueryExecutor
 from .operations import BackOperation, Operation
 from .reward import GenericExplorationReward, GenericRewardConfig
@@ -86,6 +94,14 @@ class ExplorationEnvironment:
     reward_strategy:
         Computes step and end-of-episode rewards.  Defaults to the generic
         ATENA reward.
+    cache:
+        An :class:`ExecutionCache` shared with other consumers (e.g. the
+        CDRL agent).  When ``None`` and *enable_cache* is true (the
+        default), the environment creates a private cache so repeated
+        ``(view, operation)`` pairs across episodes reuse their results.
+    enable_cache:
+        Set to ``False`` to execute every operation from scratch (used by
+        benchmarks to measure the uncached baseline).
     """
 
     def __init__(
@@ -94,6 +110,8 @@ class ExplorationEnvironment:
         episode_length: int = 6,
         reward_strategy: RewardStrategy | None = None,
         action_space: ActionSpace | None = None,
+        cache: ExecutionCache | None = None,
+        enable_cache: bool = True,
     ):
         if episode_length < 1:
             raise ValueError("episode_length must be positive")
@@ -101,9 +119,15 @@ class ExplorationEnvironment:
         self.episode_length = episode_length
         self.action_space = action_space or ActionSpace(dataset)
         self.reward_strategy: RewardStrategy = reward_strategy or GenericRewardStrategy()
-        self.executor = QueryExecutor()
+        if not enable_cache:
+            cache = None
+        elif cache is None:
+            cache = ExecutionCache()
+        self.executor = QueryExecutor(cache=cache)
         self.session: ExplorationSession = ExplorationSession(dataset)
         self._step_count = 0
+        self._mask_node: Optional[SessionNode] = None
+        self._masks: Optional[dict[str, np.ndarray]] = None
 
     # -- observation ---------------------------------------------------------------------
     def observation_size(self) -> int:
@@ -131,11 +155,41 @@ class ExplorationEnvironment:
                 features.extend([0.0, 0.0, 0.0])
         return np.asarray(features, dtype=np.float64)
 
+    # -- action validity -----------------------------------------------------------------
+    @property
+    def cache(self) -> Optional[ExecutionCache]:
+        """The executor's execution cache (``None`` when caching is disabled)."""
+        return self.executor.cache
+
+    def cache_stats(self) -> Optional[dict[str, Any]]:
+        """Hit/miss statistics of the execution cache, if one is attached."""
+        cache = self.executor.cache
+        return cache.stats.as_dict() if cache is not None else None
+
+    def action_masks(self) -> dict[str, np.ndarray]:
+        """Per-head validity masks for the current view (memoised per node).
+
+        Delegates to :meth:`ActionSpace.valid_mask`; the result is cached
+        until the session cursor moves, so policies may query it once per
+        head per step at no cost.
+        """
+        node = self.session.current
+        if self._mask_node is not node or self._masks is None:
+            self._masks = self.action_space.valid_mask(node.view)
+            self._mask_node = node
+        return self._masks
+
+    def head_mask(self, head: str) -> Optional[np.ndarray]:
+        """Validity mask for one softmax head (policy ``mask_provider`` hook)."""
+        return self.action_masks().get(head)
+
     # -- episode control -----------------------------------------------------------------
     def reset(self) -> np.ndarray:
         """Start a new episode and return the initial observation."""
         self.session = ExplorationSession(self.dataset)
         self._step_count = 0
+        self._mask_node = None
+        self._masks = None
         return self.observe()
 
     @property
@@ -152,13 +206,16 @@ class ExplorationEnvironment:
         valid = True
         if isinstance(operation, BackOperation):
             self.session.go_back(operation.steps)
+        elif not self.executor.can_execute(self.session.current.view, operation):
+            # Cheap static check: no query runs for invalid actions.
+            valid = False
+            self.session.note_invalid_step()
         else:
             try:
                 view = self.executor.execute(self.session.current.view, operation)
             except ExecutionError:
                 valid = False
-                # An invalid action consumes the step but adds no node.
-                self.session._steps += 1  # keep the step counter consistent
+                self.session.note_invalid_step()
             else:
                 node = self.session.add_operation(operation, view)
         reward = self.reward_strategy.on_step(self.session, node, operation, valid)

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+from repro.dataframe.aggregates import numeric_only
 from repro.dataframe.errors import DataFrameError
 from repro.dataframe.expressions import Predicate
 from repro.dataframe.table import DataTable
 
+from .cache import ExecutionCache
 from .operations import (
     FilterOperation,
     GroupAggOperation,
@@ -21,21 +23,42 @@ class ExecutionError(Exception):
 class QueryExecutor:
     """Executes filter and group-and-aggregate operations on table views.
 
-    The executor is deliberately forgiving about group-by operations applied
-    to aggregated views (the agent may group an already-grouped result): when
-    the requested columns are missing it raises :class:`ExecutionError`, which
-    the environment translates into an invalid-action penalty.
+    The executor is strict: operations referencing columns that are missing
+    from the view (including the aggregate attribute of a group-by) raise
+    :class:`ExecutionError`, which the environment translates into an
+    invalid-action penalty.  No silent parameter substitution happens.
+
+    Validity is checked *statically*: :meth:`can_execute` inspects only the
+    view's schema (column presence and dtypes) and never runs the query, so
+    it is safe to call per candidate action on the hot path.  For batched,
+    per-head masking see :meth:`repro.explore.action_space.ActionSpace.valid_mask`.
+
+    When constructed with an :class:`~repro.explore.cache.ExecutionCache`,
+    successful results are memoised by ``(view fingerprint, operation
+    signature)`` and repeated executions return the cached immutable view.
     """
+
+    def __init__(self, cache: ExecutionCache | None = None):
+        self.cache = cache
 
     def execute(self, view: DataTable, operation: Operation) -> DataTable:
         """Execute *operation* on *view*, returning the result view."""
         if isinstance(operation, RootOperation):
             return view
         if isinstance(operation, FilterOperation):
-            return self._execute_filter(view, operation)
-        if isinstance(operation, GroupAggOperation):
-            return self._execute_group(view, operation)
-        raise ExecutionError(f"cannot execute operation of kind {operation.kind!r}")
+            run = self._execute_filter
+        elif isinstance(operation, GroupAggOperation):
+            run = self._execute_group
+        else:
+            raise ExecutionError(f"cannot execute operation of kind {operation.kind!r}")
+        if self.cache is not None:
+            cached = self.cache.get(view, operation)
+            if cached is not None:
+                return cached
+        result = run(view, operation)
+        if self.cache is not None:
+            self.cache.put(view, operation, result)
+        return result
 
     def _execute_filter(self, view: DataTable, operation: FilterOperation) -> DataTable:
         if operation.attr not in view:
@@ -53,16 +76,34 @@ class QueryExecutor:
             raise ExecutionError(
                 f"group attribute {operation.group_attr!r} not in view columns {view.columns}"
             )
-        agg_attr = operation.agg_attr if operation.agg_attr in view else operation.group_attr
+        if operation.agg_attr not in view:
+            raise ExecutionError(
+                f"aggregate attribute {operation.agg_attr!r} not in view columns "
+                f"{view.columns}"
+            )
         try:
-            return view.groupby_agg(operation.group_attr, operation.agg_func, agg_attr)
+            return view.groupby_agg(
+                operation.group_attr, operation.agg_func, operation.agg_attr
+            )
         except DataFrameError as exc:
             raise ExecutionError(str(exc)) from exc
 
     def can_execute(self, view: DataTable, operation: Operation) -> bool:
-        """True when :meth:`execute` would succeed (used to mask invalid actions)."""
-        try:
-            self.execute(view, operation)
-        except ExecutionError:
-            return False
-        return True
+        """True when :meth:`execute` would succeed, decided from the schema only.
+
+        This never runs the operation: filters need their attribute in the
+        view; group-bys need both attributes present and a numeric aggregate
+        column for numeric-only functions.  Back operations are not
+        executable (the environment handles them without the executor).
+        """
+        if isinstance(operation, RootOperation):
+            return True
+        if isinstance(operation, FilterOperation):
+            return operation.attr in view
+        if isinstance(operation, GroupAggOperation):
+            if operation.group_attr not in view or operation.agg_attr not in view:
+                return False
+            if numeric_only(operation.agg_func) and not view.column(operation.agg_attr).is_numeric:
+                return False
+            return True
+        return False

@@ -8,6 +8,13 @@ the diversity of the newest query with respect to all previous queries::
 
 Interestingness uses KL divergence for filters and conciseness for group-bys;
 diversity is the minimal result distance to any previous query.
+
+Because the step reward re-scores *every* node of the growing session on
+every step — and training revisits the same views across thousands of
+episodes — per-node interestingness is memoised by the content fingerprints
+of the parent and result views (see :mod:`repro.explore.cache`).  Views
+served from the execution cache share fingerprints, so repeated episodes
+score in O(1) per node.
 """
 
 from __future__ import annotations
@@ -31,19 +38,42 @@ class GenericRewardConfig:
     back_action_reward: float = 0.0
 
 
+#: Sentinel distinguishing "absent" from a memoised 0.0 score.
+_MISSING = object()
+
+#: Interestingness memo bound; the memo is cleared wholesale when exceeded.
+_INTEREST_MEMO_MAX = 65536
+
+
 class GenericExplorationReward:
     """Computes the ATENA-style generic exploration reward for session steps."""
 
     def __init__(self, config: GenericRewardConfig | None = None):
         self.config = config or GenericRewardConfig()
+        self._interest_memo: dict[tuple, float] = {}
 
     def node_interestingness(self, node: SessionNode) -> float:
-        """Interestingness of a single executed query node."""
+        """Interestingness of a single executed query node (memoised).
+
+        The score is a pure function of the operation kind and the parent and
+        result view contents, so it is memoised by their fingerprints.
+        """
         if node.is_root or node.parent is None:
             return 0.0
-        return operation_interestingness(
-            node.operation.kind, node.parent.view, node.view
+        key = (
+            node.operation.kind,
+            node.parent.view.fingerprint(),
+            node.view.fingerprint(),
         )
+        value = self._interest_memo.get(key, _MISSING)
+        if value is _MISSING:
+            value = operation_interestingness(
+                node.operation.kind, node.parent.view, node.view
+            )
+            if len(self._interest_memo) >= _INTEREST_MEMO_MAX:
+                self._interest_memo.clear()
+            self._interest_memo[key] = value
+        return value
 
     def step_reward(self, session: ExplorationSession, node: SessionNode) -> float:
         """Reward for the step that produced *node* (the newest query)."""

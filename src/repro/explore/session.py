@@ -112,6 +112,15 @@ class ExplorationSession:
         self._operations.append(BackOperation(steps=steps))
         return node
 
+    def note_invalid_step(self) -> None:
+        """Record an agent step whose operation was invalid.
+
+        Invalid actions consume a step but add no node and no operation;
+        this keeps :attr:`steps_taken` consistent without callers reaching
+        into the session's private counter.
+        """
+        self._steps += 1
+
     # -- inspection -------------------------------------------------------------------
     @property
     def steps_taken(self) -> int:
@@ -168,16 +177,20 @@ def session_from_operations(
     dataset: DataTable,
     operations: list[Operation],
     executor: "object" = None,
+    cache: "object" = None,
 ) -> ExplorationSession:
     """Replay a flat list of operations (including back ops) into a session.
 
     The *executor* must provide ``execute(view, operation) -> DataTable``;
     imported lazily to avoid a circular import with :mod:`repro.explore.executor`.
+    When *cache* (an :class:`~repro.explore.cache.ExecutionCache`) is given
+    and no executor is supplied, the replay reuses memoised results, which
+    makes repeated replays of overlapping operation lists nearly free.
     """
     if executor is None:
         from .executor import QueryExecutor
 
-        executor = QueryExecutor()
+        executor = QueryExecutor(cache=cache)
     session = ExplorationSession(dataset)
     for operation in operations:
         if isinstance(operation, BackOperation):

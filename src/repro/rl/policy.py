@@ -10,6 +10,13 @@ The policy also supports an optional *bias provider*: a callable that, given
 the head name, returns an additive logit bias.  The specification-aware
 network (Section 5.3) uses this hook to shift probability mass toward
 snippet-compatible parameter values.
+
+A second hook, the *mask provider*, returns per-head boolean validity masks
+(e.g. :meth:`ExplorationEnvironment.head_mask`, backed by the schema-only
+:meth:`ActionSpace.valid_mask`).  Masked-out choices receive a large negative
+logit bias, driving their probability to exactly zero; the mask in effect at
+sampling time is recorded on the decision so the gradient update re-applies
+the same distribution.
 """
 
 from __future__ import annotations
@@ -22,6 +29,11 @@ import numpy as np
 from .network import MultiHeadPolicyNetwork
 
 BiasProvider = Callable[[str], Optional[np.ndarray]]
+MaskProvider = Callable[[str], Optional[np.ndarray]]
+
+#: Additive logit applied to masked-out choices; large enough that the
+#: post-softmax probability underflows to exactly 0.0.
+MASK_LOGIT_BIAS = -1e9
 
 
 @dataclass
@@ -47,10 +59,12 @@ class CategoricalPolicy:
         network: MultiHeadPolicyNetwork,
         rng: np.random.Generator | None = None,
         bias_provider: BiasProvider | None = None,
+        mask_provider: MaskProvider | None = None,
     ):
         self.network = network
         self.rng = rng or np.random.default_rng(0)
         self.bias_provider = bias_provider
+        self.mask_provider = mask_provider
 
     # -- acting --------------------------------------------------------------------------
     def _collect_biases(self) -> dict[str, np.ndarray]:
@@ -62,6 +76,32 @@ class CategoricalPolicy:
             bias = self.bias_provider(name)
             if bias is not None:
                 biases[name] = np.asarray(bias, dtype=np.float64)
+        return biases
+
+    def _apply_masks(self, biases: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Fold the mask provider's validity masks into the logit biases.
+
+        Masks shorter than a head (e.g. the base action-type mask against the
+        specification-aware head with its extra snippet entry) are padded
+        with ``True``; all-true and degenerate all-false masks are ignored.
+        """
+        if self.mask_provider is None:
+            return biases
+        for name, size in self.network.head_sizes.items():
+            mask = self.mask_provider(name)
+            if mask is None:
+                continue
+            mask = np.asarray(mask, dtype=bool)
+            if len(mask) < size:
+                mask = np.concatenate([mask, np.ones(size - len(mask), dtype=bool)])
+            elif len(mask) > size:
+                mask = mask[:size]
+            if mask.all() or not mask.any():
+                continue
+            bias = biases.get(name)
+            bias = np.zeros(size) if bias is None else np.array(bias, dtype=np.float64)
+            bias[~mask] += MASK_LOGIT_BIAS
+            biases[name] = bias
         return biases
 
     def _head_probabilities(
@@ -86,7 +126,7 @@ class CategoricalPolicy:
 
     def act(self, observation: np.ndarray, greedy: bool = False) -> PolicyDecision:
         """Sample (or argmax, when *greedy*) one index per head."""
-        biases = self._collect_biases()
+        biases = self._apply_masks(self._collect_biases())
         probabilities, value = self._head_probabilities(observation, biases)
         indices: dict[str, int] = {}
         log_prob = 0.0
@@ -155,5 +195,7 @@ class CategoricalPolicy:
     # -- diagnostics ----------------------------------------------------------------------
     def action_distribution(self, observation: np.ndarray) -> Mapping[str, np.ndarray]:
         """Per-head probabilities without sampling (used in tests and the ablation)."""
-        probabilities, _ = self._head_probabilities(observation, self._collect_biases())
+        probabilities, _ = self._head_probabilities(
+            observation, self._apply_masks(self._collect_biases())
+        )
         return probabilities

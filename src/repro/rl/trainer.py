@@ -49,6 +49,9 @@ class TrainingHistory:
     episode_returns: list[float] = field(default_factory=list)
     episode_steps: list[int] = field(default_factory=list)
     greedy_returns: list[tuple[int, float]] = field(default_factory=list)
+    #: Execution-cache hit/miss counters snapshotted at the end of training
+    #: (``None`` when the environment runs without a cache).
+    cache_stats: Optional[dict] = None
 
     def total_steps(self) -> int:
         return int(sum(self.episode_steps))
@@ -145,6 +148,7 @@ class PolicyGradientTrainer:
                 self.history.greedy_returns.append((episode + 1, greedy_buffer.total_reward()))
         if batch:
             self._update(batch)
+        self.history.cache_stats = self.environment.cache_stats()
         return self.history
 
     def _maybe_keep_elite(self, buffer: EpisodeBuffer) -> None:
