@@ -1,8 +1,10 @@
 """Goal-oriented exploration of the Flights dataset with hand-written LDX.
 
-Demonstrates the "power user" path of LINX (and of the ATENA-PRO demo): the
-analyst writes the LDX specification directly instead of describing the goal
-in natural language, and the CDRL engine fills in the free parameters.
+Demonstrates the "power user" path of LINX (and of the ATENA-PRO demo)
+through the engine API: the analyst writes the LDX specification directly
+instead of describing the goal in natural language — the derivation stage is
+skipped — and the CDRL engine fills in the free parameters.  A progress
+observer streams stage transitions and per-episode training ticks.
 
 The specification below encodes meta-goal 5 ("describe an unusual subset"):
 compare weather-delayed flights against all other flights with the same
@@ -13,9 +15,8 @@ Run with::
     python examples/flights_delay_investigation.py
 """
 
-from repro.cdrl import CdrlConfig, LinxCdrlAgent
-from repro.datasets import load_dataset
-from repro.notebook import extract_insights, render_notebook
+from repro.cdrl import CdrlConfig
+from repro.engine import EVENT_EPISODE, ExploreRequest, LinxEngine, ProgressEvent
 
 WEATHER_DELAY_LDX = """
 ROOT CHILDREN <A1,A2>
@@ -26,29 +27,42 @@ B2 LIKE [G,(?<Y>.*),mean,(?<Z>.*)]
 """
 
 
+def on_progress(event: ProgressEvent) -> None:
+    if event.kind == EVENT_EPISODE:
+        episode = event.payload["episode"]
+        if episode % 50 == 0:
+            print(f"  ... episode {episode}, return {event.payload['return']:.2f}")
+    else:
+        print(f"  {event}")
+
+
 def main() -> None:
-    dataset = load_dataset("flights", num_rows=1200)
     print("Specification (hand-written LDX):")
     print(WEATHER_DELAY_LDX)
 
-    agent = LinxCdrlAgent(dataset, WEATHER_DELAY_LDX, config=CdrlConfig(episodes=150))
-    result = agent.run()
+    engine = LinxEngine(cdrl_config=CdrlConfig(episodes=150))
+    request = ExploreRequest(
+        goal="Highlight distinctive characteristics of weather-delayed flights",
+        dataset="flights",
+        num_rows=1200,
+        ldx_text=WEATHER_DELAY_LDX,
+        request_id="weather-delays",
+    )
+    print("Progress:")
+    result = engine.explore(request, observer=on_progress)
 
-    print(f"Fully compliant: {result.fully_compliant}")
+    print(f"\nFully compliant: {result.fully_compliant}")
     print(f"Exploration utility score: {result.utility_score:.3f}")
     print(f"Training episodes: {result.episodes_trained}")
+    print(f"Cache stats: {result.cache_stats}")
     print()
-    print(result.session.describe())
+    print(result.artifacts.session.describe())
     print()
-
-    notebook = render_notebook(
-        result.session, goal="Highlight distinctive characteristics of weather-delayed flights"
-    )
-    print(notebook.to_markdown())
+    print(result.notebook_markdown)
 
     print("\nInsights:")
-    for insight in extract_insights(result.session)[:5]:
-        print(f"  - {insight.text}")
+    for insight in result.insights[:5]:
+        print(f"  - {insight['text']}")
 
 
 if __name__ == "__main__":

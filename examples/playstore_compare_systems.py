@@ -5,19 +5,24 @@ scale: generate a notebook with LINX, ATENA, the ChatGPT-direct baseline and
 the Sheets-Explorer-like baseline, then score each notebook's relevance with
 the simulated rater panel and count goal-relevant insights.
 
+The LINX and ATENA rows both run through the engine — ATENA plugs in as an
+alternate session-generation stage (``AtenaSessionGenerator``), so the two
+systems share the same request, pipeline and execution cache and differ only
+in the generation stage.
+
 Run with::
 
     python examples/playstore_compare_systems.py
 """
 
 from repro.baselines import (
-    AtenaAgent,
     AtenaConfig,
     ChatGptDirectBaseline,
     SheetsExplorerBaseline,
     specification_from_ldx,
 )
-from repro.cdrl import CdrlConfig, LinxCdrlAgent
+from repro.cdrl import CdrlConfig
+from repro.engine import AtenaSessionGenerator, ExploreRequest, LinxEngine
 from repro.datasets import load_dataset
 from repro.ldx import parse_ldx
 from repro.study import SimulatedRaterPanel
@@ -35,11 +40,20 @@ def main() -> None:
     query = parse_ldx(GOLD_LDX)
     panel = SimulatedRaterPanel()
 
+    request = ExploreRequest(
+        goal=GOAL, dataset="playstore", num_rows=1000, ldx_text=GOLD_LDX
+    )
+
+    # Same engine shape, different generation stage: CDRL (LINX) vs ATENA.
+    linx_engine = LinxEngine(cdrl_config=CdrlConfig(episodes=120))
+    atena_engine = LinxEngine(
+        session_generator=AtenaSessionGenerator(AtenaConfig(episodes=80)),
+        cache=linx_engine.cache,  # both systems share one execution cache
+    )
+
     sessions = {}
-    sessions["LINX"] = LinxCdrlAgent(
-        dataset, GOLD_LDX, config=CdrlConfig(episodes=120)
-    ).run().session
-    sessions["ATENA"] = AtenaAgent(dataset, config=AtenaConfig(episodes=80)).run().session
+    sessions["LINX"] = linx_engine.explore(request).artifacts.session
+    sessions["ATENA"] = atena_engine.explore(request).artifacts.session
     sessions["ChatGPT"] = ChatGptDirectBaseline().generate(dataset, GOAL)
     sessions["Google Sheets"] = SheetsExplorerBaseline().generate(
         dataset, specification_from_ldx(query, dataset)
@@ -54,6 +68,7 @@ def main() -> None:
             f"{rating.relevant_insights:>9.2f}"
         )
 
+    print(f"\nShared execution cache after both systems: {linx_engine.cache_stats()}")
     print("\nLINX session:")
     print(sessions["LINX"].describe())
 

@@ -1,41 +1,61 @@
-"""Quickstart: run LINX end-to-end on the Netflix dataset.
+"""Quickstart: run LINX end-to-end through the service-oriented engine API.
 
 This is the workflow of Example 1.2 in the paper: Clarice uploads the
 Netflix dataset, describes her analytical goal in natural language, and LINX
-returns a goal-oriented exploration notebook.
+returns a goal-oriented exploration notebook.  The request is declarative
+and JSON-serializable; the result carries per-stage status, timings and
+cache statistics and round-trips through JSON.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import Linx
+import json
+
 from repro.cdrl import CdrlConfig
-from repro.datasets import load_dataset
+from repro.engine import ExploreRequest, ExploreResult, LinxEngine
 
 
 def main() -> None:
-    dataset = load_dataset("netflix", num_rows=800)
     goal = "Find a country with different viewing habits than the rest of the world"
-
-    linx = Linx(cdrl_config=CdrlConfig(episodes=120))
+    request = ExploreRequest(
+        goal=goal,
+        dataset="netflix",
+        num_rows=800,
+        episodes=120,
+        seed=0,
+        request_id="quickstart",
+    )
     print(f"Analytical goal: {goal}\n")
-
-    # Step 1: derive LDX specifications from the goal (Section 6).
-    ldx_text = linx.derive_specifications("netflix", goal)
-    print("Derived LDX specifications:")
-    print(ldx_text)
+    print("Request payload (what a serving tier would receive):")
+    print(json.dumps(request.to_dict(), indent=2))
     print()
 
-    # Step 2: generate a compliant, high-utility session (Section 5) and render it.
-    output = linx.explore(dataset, goal, ldx_text=ldx_text)
-    print(f"Session compliant with specifications: {output.fully_compliant}")
+    # One long-lived engine serves many requests: the few-shot bank is built
+    # lazily on the first derivation and the execution cache is shared.
+    engine = LinxEngine(cdrl_config=CdrlConfig(episodes=120))
+    result = engine.explore(request)
+
+    print("Per-stage status:")
+    for stage in result.stages:
+        print(f"  {stage.name:<18} {stage.status:<9} ({stage.seconds:.2f}s)")
+    print(f"\nDerived LDX specifications (fallback={result.derivation_fallback}):")
+    print(result.ldx_text)
+    print(f"Session compliant with specifications: {result.fully_compliant}")
+    print(f"Execution-cache stats for this request: {result.cache_stats}")
     print()
-    print(output.markdown())
+    print(result.notebook_markdown)
     print()
     print("Extracted insights:")
-    for insight in output.insights[:5]:
-        print(f"  - {insight.text}")
+    for insight in result.insights[:5]:
+        print(f"  - {insight['text']}")
+
+    # The result round-trips through JSON, so it can be stored and served.
+    payload = json.dumps(result.to_dict())
+    restored = ExploreResult.from_dict(json.loads(payload))
+    assert restored == result
+    print(f"\nSerialized result: {len(payload)} bytes (round-trips losslessly)")
 
 
 if __name__ == "__main__":

@@ -10,19 +10,52 @@ The package is organised as one sub-package per system (see DESIGN.md):
 * :mod:`repro.rl` — the policy-gradient learning library,
 * :mod:`repro.cdrl` — the constrained DRL engine (LINX's core contribution),
 * :mod:`repro.llm` / :mod:`repro.nl2ldx` — specification derivation from NL,
+* :mod:`repro.engine` — the service-oriented public API (declarative
+  requests, pluggable stages, batch execution, serializable results),
 * :mod:`repro.bench`, :mod:`repro.datasets`, :mod:`repro.metrics`,
   :mod:`repro.baselines`, :mod:`repro.notebook`, :mod:`repro.study` —
   benchmark, data, metrics, baselines and evaluation harnesses.
 
 Quickstart::
 
+    from repro import ExploreRequest, LinxEngine
+
+    engine = LinxEngine()
+    result = engine.explore(ExploreRequest(
+        goal="Find an atypical country", dataset="netflix"))
+    print(result.notebook_markdown)
+
+The legacy one-call facade remains available::
+
     from repro import Linx
     output = Linx().explore("netflix", "Find an atypical country")
     print(output.markdown())
 """
 
+from .engine import (
+    EngineError,
+    ExploreRequest,
+    ExploreResult,
+    LinxEngine,
+    ProgressEvent,
+    RequestValidationError,
+    StageFailedError,
+    StageStatus,
+)
 from .linx import Linx, LinxOutput
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
-__all__ = ["Linx", "LinxOutput", "__version__"]
+__all__ = [
+    "EngineError",
+    "ExploreRequest",
+    "ExploreResult",
+    "Linx",
+    "LinxEngine",
+    "LinxOutput",
+    "ProgressEvent",
+    "RequestValidationError",
+    "StageFailedError",
+    "StageStatus",
+    "__version__",
+]

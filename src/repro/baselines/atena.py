@@ -9,10 +9,12 @@ the exploration environment and the policy-gradient trainer with the plain
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.cdrl.spec_network import build_basic_policy
 from repro.dataframe.table import DataTable
 from repro.explore.action_space import ActionSpace
+from repro.explore.cache import ExecutionCache
 from repro.explore.environment import ExplorationEnvironment, GenericRewardStrategy
 from repro.explore.reward import GenericExplorationReward
 from repro.explore.session import ExplorationSession
@@ -42,7 +44,12 @@ class AtenaResult:
 class AtenaAgent:
     """The goal-agnostic DRL exploration agent of [6]."""
 
-    def __init__(self, dataset: DataTable, config: AtenaConfig | None = None):
+    def __init__(
+        self,
+        dataset: DataTable,
+        config: AtenaConfig | None = None,
+        cache: ExecutionCache | None = None,
+    ):
         self.dataset = dataset
         self.config = config or AtenaConfig()
         self.action_space = ActionSpace(dataset)
@@ -51,6 +58,7 @@ class AtenaAgent:
             episode_length=self.config.episode_length,
             reward_strategy=GenericRewardStrategy(),
             action_space=self.action_space,
+            cache=cache,
         )
         self.policy = build_basic_policy(
             observation_size=self.environment.observation_size(),
@@ -66,9 +74,15 @@ class AtenaAgent:
         )
         self._scorer = GenericExplorationReward()
 
-    def run(self, episodes: int | None = None) -> AtenaResult:
+    def run(
+        self,
+        episodes: int | None = None,
+        episode_callback: Optional[
+            Callable[[int, float, ExplorationSession], None]
+        ] = None,
+    ) -> AtenaResult:
         """Train and return the best goal-agnostic session found."""
-        history = self.trainer.train(episodes=episodes)
+        history = self.trainer.train(episodes=episodes, callback=episode_callback)
         session, _ = self.trainer.best_session(attempts=5)
         return AtenaResult(
             session=session,

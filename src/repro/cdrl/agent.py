@@ -9,7 +9,7 @@ Step 2 of the LINX workflow (Section 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.dataframe.table import DataTable
 from repro.explore.action_space import ActionSpace
@@ -81,6 +81,7 @@ class LinxCdrlAgent:
         dataset: DataTable,
         query: LdxQuery | str,
         config: CdrlConfig | None = None,
+        cache: ExecutionCache | None = None,
     ):
         self.dataset = dataset
         self.query = parse_ldx(query) if isinstance(query, str) else query
@@ -102,14 +103,24 @@ class LinxCdrlAgent:
         )
         # One execution cache is shared by training rollouts and evaluation,
         # so repeated (view, operation) pairs across episodes reuse results.
-        self.cache = ExecutionCache() if self.config.cache_execution else None
+        # An externally supplied cache (e.g. the engine-wide cache of
+        # :class:`repro.engine.core.LinxEngine`) extends that sharing across
+        # agents and requests.  ``config.cache_execution=False`` always wins,
+        # so uncached ablation / baseline timings stay truly uncached even
+        # when a shared cache is offered.
+        if not self.config.cache_execution:
+            self.cache: Optional[ExecutionCache] = None
+        elif cache is not None:
+            self.cache = cache
+        else:
+            self.cache = ExecutionCache()
         self.environment = ExplorationEnvironment(
             dataset=dataset,
             episode_length=episode_length,
             reward_strategy=self.reward_strategy,
             action_space=self.action_space,
             cache=self.cache,
-            enable_cache=self.config.cache_execution,
+            enable_cache=self.cache is not None,
         )
         observation_size = self.environment.observation_size()
         if self.config.specification_aware_network:
@@ -163,13 +174,28 @@ class LinxCdrlAgent:
         if self._best_compliant is None or utility > self._best_compliant[1]:
             self._best_compliant = (session, utility)
 
-    def run(self, episodes: Optional[int] = None) -> CdrlResult:
+    def run(
+        self,
+        episodes: Optional[int] = None,
+        episode_callback: Optional[
+            Callable[[int, float, ExplorationSession], None]
+        ] = None,
+    ) -> CdrlResult:
         """Train the agent and return the best session found.
 
         Preference order: the highest-utility fully compliant session seen
         during training; otherwise the best session produced after training.
+        ``episode_callback`` (episode index, episode return, session) is
+        invoked after every training episode — the engine uses it to stream
+        per-episode progress events to observers.
         """
-        history = self.trainer.train(episodes=episodes, callback=self._track_best)
+
+        def per_episode(episode: int, episode_return: float, session: ExplorationSession) -> None:
+            self._track_best(episode, episode_return, session)
+            if episode_callback is not None:
+                episode_callback(episode, episode_return, session)
+
+        history = self.trainer.train(episodes=episodes, callback=per_episode)
         if self._best_compliant is not None:
             session, utility = self._best_compliant
         else:

@@ -1,0 +1,113 @@
+"""Service-oriented LINX engine API.
+
+The public entry point for programmatic and served use:
+
+* :class:`LinxEngine` — long-lived engine with pluggable stages, a shared
+  execution cache and a lazily-built few-shot bank,
+* :class:`ExploreRequest` / :class:`ExploreResult` — declarative,
+  JSON-serializable request/response pair (schema-versioned),
+* :mod:`repro.engine.stages` — the stage-plugin protocols and the default /
+  baseline implementations,
+* :class:`ProgressEvent` — per-request progress notifications.
+
+Quickstart::
+
+    from repro.engine import ExploreRequest, LinxEngine
+
+    engine = LinxEngine()
+    result = engine.explore(ExploreRequest(
+        goal="Find a country with different viewing habits than the rest of the world",
+        dataset="netflix", num_rows=800))
+    print(result.notebook_markdown)
+"""
+
+from .core import DEFAULT_ENGINE_MAX_CACHED_ROWS, PERMISSIVE_LDX, LinxEngine
+from .errors import (
+    EngineError,
+    FieldError,
+    RequestValidationError,
+    StageFailedError,
+)
+from .events import (
+    EVENT_EPISODE,
+    EVENT_REQUEST_FINISHED,
+    EVENT_REQUEST_STARTED,
+    EVENT_STAGE_FINISHED,
+    EVENT_STAGE_SKIPPED,
+    EVENT_STAGE_STARTED,
+    ProgressEvent,
+    ProgressObserver,
+)
+from .request import REQUEST_SCHEMA_VERSION, ExploreRequest
+from .result import (
+    RESULT_SCHEMA_VERSION,
+    STAGE_DERIVE,
+    STAGE_GENERATE,
+    STAGE_INSIGHTS,
+    STAGE_ORDER,
+    STAGE_RENDER,
+    STATUS_COMPLETE,
+    STATUS_FAILED,
+    STATUS_PENDING,
+    STATUS_SKIPPED,
+    EngineArtifacts,
+    ExploreResult,
+    StageStatus,
+)
+from .stages import (
+    AtenaSessionGenerator,
+    CdrlSessionGenerator,
+    ChainedSpecDeriver,
+    DefaultInsightExtractor,
+    InsightExtractor,
+    MarkdownNotebookRenderer,
+    NotebookRenderer,
+    SessionGenerator,
+    SessionOutcome,
+    SpecDerivation,
+    SpecDeriver,
+)
+
+__all__ = [
+    "AtenaSessionGenerator",
+    "CdrlSessionGenerator",
+    "ChainedSpecDeriver",
+    "DEFAULT_ENGINE_MAX_CACHED_ROWS",
+    "DefaultInsightExtractor",
+    "EVENT_EPISODE",
+    "EVENT_REQUEST_FINISHED",
+    "EVENT_REQUEST_STARTED",
+    "EVENT_STAGE_FINISHED",
+    "EVENT_STAGE_SKIPPED",
+    "EVENT_STAGE_STARTED",
+    "EngineArtifacts",
+    "EngineError",
+    "ExploreRequest",
+    "ExploreResult",
+    "FieldError",
+    "InsightExtractor",
+    "LinxEngine",
+    "MarkdownNotebookRenderer",
+    "NotebookRenderer",
+    "PERMISSIVE_LDX",
+    "ProgressEvent",
+    "ProgressObserver",
+    "REQUEST_SCHEMA_VERSION",
+    "RESULT_SCHEMA_VERSION",
+    "RequestValidationError",
+    "STAGE_DERIVE",
+    "STAGE_GENERATE",
+    "STAGE_INSIGHTS",
+    "STAGE_ORDER",
+    "STAGE_RENDER",
+    "STATUS_COMPLETE",
+    "STATUS_FAILED",
+    "STATUS_PENDING",
+    "STATUS_SKIPPED",
+    "SessionGenerator",
+    "SessionOutcome",
+    "SpecDerivation",
+    "SpecDeriver",
+    "StageFailedError",
+    "StageStatus",
+]

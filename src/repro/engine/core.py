@@ -1,0 +1,438 @@
+"""The long-lived LINX engine: a service-oriented facade over the pipeline.
+
+One :class:`LinxEngine` instance owns the expensive shared state — an LLM
+client, a lazily-built memoized few-shot bank, and one thread-safe
+:class:`~repro.explore.cache.ExecutionCache` shared by every request — and
+processes declarative :class:`~repro.engine.request.ExploreRequest` objects
+through four pluggable stages (derive → generate → render → insights) into
+serializable :class:`~repro.engine.result.ExploreResult` objects.
+
+Unlike the legacy :class:`repro.linx.Linx` facade (now a thin wrapper over
+this class), the engine
+
+* validates requests up front with structured errors,
+* never rebuilds the benchmark or few-shot bank per request,
+* shares one execution cache across all requests, so a batch of related
+  requests reuses each other's query results,
+* fans batches out over a thread pool (:meth:`explore_many`) with ordered
+  per-request progress events, and
+* returns results that round-trip through JSON for serving and storage.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+from repro.bench.generator import generate_benchmark
+from repro.cdrl.agent import CdrlConfig
+from repro.dataframe.table import DataTable
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.explore.cache import (
+    DEFAULT_MAX_ENTRIES,
+    ExecutionCache,
+    ThreadSafeExecutionCache,
+)
+from repro.explore.session import ExplorationSession
+from repro.ldx.parser import parse_ldx, try_parse_ldx
+from repro.llm.interface import LLMClient
+from repro.llm.mock import gpt4_client
+from repro.nl2ldx.fewshot import FewShotBank
+
+from .errors import FieldError, RequestValidationError, StageFailedError
+from .events import (
+    EVENT_EPISODE,
+    EVENT_REQUEST_FINISHED,
+    EVENT_REQUEST_STARTED,
+    EVENT_STAGE_FINISHED,
+    EVENT_STAGE_SKIPPED,
+    EVENT_STAGE_STARTED,
+    ProgressEvent,
+    ProgressObserver,
+)
+from .request import ExploreRequest
+from .result import (
+    STAGE_DERIVE,
+    STAGE_GENERATE,
+    STAGE_INSIGHTS,
+    STAGE_ORDER,
+    STAGE_RENDER,
+    STATUS_COMPLETE,
+    STATUS_FAILED,
+    STATUS_SKIPPED,
+    EngineArtifacts,
+    ExploreResult,
+    insight_to_dict,
+)
+from .stages import (
+    CdrlSessionGenerator,
+    ChainedSpecDeriver,
+    DefaultInsightExtractor,
+    InsightExtractor,
+    MarkdownNotebookRenderer,
+    NotebookRenderer,
+    SessionGenerator,
+    SpecDeriver,
+)
+
+#: Permissive fallback specification used when derived/explicit LDX fails to
+#: parse: the engine still produces a useful (if less targeted) session.
+PERMISSIVE_LDX = "ROOT CHILDREN <A1,A2>\nA1 LIKE [F,.*]\nA2 LIKE [G,.*]"
+
+#: Default row budget of the engine's shared cache.  The engine is long-lived
+#: and serves arbitrarily many requests, so unlike per-agent caches its volume
+#: must be bounded: 2M cached rows keeps worst-case residency at a few hundred
+#: MB even on wide tables, while far exceeding a single request's working set.
+DEFAULT_ENGINE_MAX_CACHED_ROWS = 2_000_000
+
+T = TypeVar("T")
+
+
+class LinxEngine:
+    """Long-lived, batchable, pluggable LINX service facade.
+
+    Parameters
+    ----------
+    llm_client:
+        LLM client used by the default specification deriver (offline: the
+        simulated GPT-4 tier).
+    cdrl_config:
+        Configuration of the default CDRL session generator.
+    spec_deriver / session_generator / notebook_renderer / insight_extractor:
+        Stage overrides (see :mod:`repro.engine.stages`); pass e.g.
+        :class:`~repro.engine.stages.AtenaSessionGenerator` to swap the
+        baseline in as the generation stage.
+    cache:
+        Execution cache shared by every request.  Defaults to a
+        :class:`~repro.explore.cache.ThreadSafeExecutionCache` bounded by
+        *max_cache_entries* entries and *max_cached_rows* total cached rows
+        (default :data:`DEFAULT_ENGINE_MAX_CACHED_ROWS`; pass ``None`` to
+        disable the row budget).
+
+    Example
+    -------
+    >>> from repro.engine import ExploreRequest, LinxEngine
+    >>> engine = LinxEngine()
+    >>> result = engine.explore(ExploreRequest(
+    ...     goal="Find a country with different viewing habits than the rest of the world",
+    ...     dataset="netflix", num_rows=800))          # doctest: +SKIP
+    >>> result.notebook_markdown                        # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        llm_client: LLMClient | None = None,
+        cdrl_config: CdrlConfig | None = None,
+        *,
+        spec_deriver: SpecDeriver | None = None,
+        session_generator: SessionGenerator | None = None,
+        notebook_renderer: NotebookRenderer | None = None,
+        insight_extractor: InsightExtractor | None = None,
+        cache: ExecutionCache | None = None,
+        max_cache_entries: int = DEFAULT_MAX_ENTRIES,
+        max_cached_rows: int | None = DEFAULT_ENGINE_MAX_CACHED_ROWS,
+    ):
+        self.llm_client = llm_client or gpt4_client()
+        self.cdrl_config = cdrl_config or CdrlConfig(episodes=150)
+        self.cache = (
+            cache
+            if cache is not None
+            else ThreadSafeExecutionCache(
+                max_entries=max_cache_entries, max_cached_rows=max_cached_rows
+            )
+        )
+        self._bank_lock = threading.Lock()
+        self._bank: Optional[FewShotBank] = None
+        self.spec_deriver: SpecDeriver = spec_deriver or ChainedSpecDeriver(
+            self.llm_client, self.fewshot_bank
+        )
+        self.session_generator: SessionGenerator = (
+            session_generator or CdrlSessionGenerator(self.cdrl_config)
+        )
+        self.notebook_renderer: NotebookRenderer = (
+            notebook_renderer or MarkdownNotebookRenderer()
+        )
+        self.insight_extractor: InsightExtractor = (
+            insight_extractor or DefaultInsightExtractor()
+        )
+
+    # -- shared state ----------------------------------------------------------------
+    def fewshot_bank(self) -> FewShotBank:
+        """The engine-wide few-shot bank, built once on first use.
+
+        Building materialises the full benchmark (182 goal/LDX instances),
+        so it is deferred until a request actually needs derivation and then
+        reused by every subsequent request, across threads.
+        """
+        if self._bank is None:
+            with self._bank_lock:
+                if self._bank is None:
+                    self._bank = FewShotBank(generate_benchmark())
+        return self._bank
+
+    def cache_stats(self) -> dict:
+        """Engine-wide execution-cache statistics and occupancy."""
+        return self.cache.describe()
+
+    def resolve_table(self, request: ExploreRequest) -> DataTable:
+        """Materialise the dataset a request refers to."""
+        return load_dataset(
+            request.dataset, num_rows=request.num_rows, seed=request.dataset_seed
+        )
+
+    # -- convenience (legacy-facade support) -----------------------------------------
+    def derive_specifications(self, dataset_name: str, goal: str) -> str:
+        """Derive LDX specification text for *goal* (LINX step 1)."""
+        return self.spec_deriver.derive(dataset_name, goal).ldx_text
+
+    # -- request execution -----------------------------------------------------------
+    def explore(
+        self,
+        request: ExploreRequest,
+        *,
+        table: DataTable | None = None,
+        observer: ProgressObserver | None = None,
+        _label: str = "",
+    ) -> ExploreResult:
+        """Process one request through the full pipeline.
+
+        ``table`` overrides dataset resolution with an in-memory
+        :class:`DataTable` (the in-process escape hatch used by the legacy
+        facade); the request stays declarative and serializable either way.
+        ``observer`` receives ordered :class:`ProgressEvent` notifications.
+        """
+        known = None
+        if table is not None:
+            known = list(dataset_names()) + [table.name]
+        request.validate(known_datasets=known)
+        if (
+            request.ldx_text is None
+            and table is not None
+            and table.name.strip().lower() not in dataset_names()
+        ):
+            raise RequestValidationError(
+                [
+                    FieldError(
+                        "ldx_text",
+                        "specification derivation needs a registered dataset; "
+                        f"supply ldx_text explicitly for ad-hoc table {table.name!r}",
+                    )
+                ]
+            )
+
+        request_id = request.request_id or _label or "request"
+        emit: ProgressObserver = observer or (lambda event: None)
+        result = ExploreResult(
+            request=request.to_dict(),
+            dataset_name=request.dataset,
+            goal=request.goal,
+        )
+        for stage_name in STAGE_ORDER:
+            result.stage(stage_name)  # pre-register, status "pending"
+        emit(ProgressEvent(request_id, EVENT_REQUEST_STARTED))
+
+        if table is None:
+            table = self.resolve_table(request)
+        result.dataset_name = table.name
+        counters_before = self.cache.snapshot_counters()
+
+        # -- stage 1: specification derivation ----------------------------------
+        if request.ldx_text is not None:
+            status = result.stage(STAGE_DERIVE)
+            status.status = STATUS_SKIPPED
+            status.detail = "explicit ldx_text supplied"
+            emit(ProgressEvent(request_id, EVENT_STAGE_SKIPPED, STAGE_DERIVE))
+            ldx_text = request.ldx_text
+        else:
+            derivation = self._run_stage(
+                result,
+                STAGE_DERIVE,
+                request_id,
+                emit,
+                lambda: self.spec_deriver.derive(table.name, request.goal),
+                required=True,
+            )
+            ldx_text = derivation.ldx_text
+
+        query = try_parse_ldx(ldx_text)
+        if query is None:
+            # Permissive fallback instead of failing outright — and, unlike
+            # the old facade, the substitution is recorded on the result.
+            result.derivation_fallback = True
+            result.warnings.append(
+                "specification did not parse as LDX; substituted the permissive "
+                "fallback specification"
+            )
+            result.stage(STAGE_DERIVE).detail = (
+                result.stage(STAGE_DERIVE).detail or "fell back to permissive LDX"
+            )
+            ldx_text = PERMISSIVE_LDX
+            query = parse_ldx(ldx_text)
+        result.ldx_text = ldx_text
+
+        # -- stage 2: constrained session generation ----------------------------
+        def on_episode(episode: int, episode_return: float, _session) -> None:
+            emit(
+                ProgressEvent(
+                    request_id,
+                    EVENT_EPISODE,
+                    STAGE_GENERATE,
+                    {"episode": episode, "return": episode_return},
+                )
+            )
+
+        outcome = self._run_stage(
+            result,
+            STAGE_GENERATE,
+            request_id,
+            emit,
+            lambda: self.session_generator.generate(
+                table,
+                ldx_text,
+                episodes=request.episodes,
+                seed=request.seed,
+                cache=self.cache,
+                on_episode=on_episode,
+            ),
+            required=True,
+        )
+        session: ExplorationSession = outcome.session
+        result.fully_compliant = outcome.fully_compliant
+        result.structurally_compliant = outcome.structurally_compliant
+        result.utility_score = outcome.utility_score
+        result.episodes_trained = outcome.episodes_trained
+        result.operations = [
+            list(operation.signature()) for operation in session.operations
+        ]
+
+        # -- stage 3 + 4: rendering and insights (non-fatal on failure) ----------
+        notebook = self._run_stage(
+            result,
+            STAGE_RENDER,
+            request_id,
+            emit,
+            lambda: self.notebook_renderer.render(session, request.goal),
+            required=False,
+        )
+        if notebook is not None:
+            result.notebook_markdown = notebook.to_markdown()
+        insights = self._run_stage(
+            result,
+            STAGE_INSIGHTS,
+            request_id,
+            emit,
+            lambda: self.insight_extractor.extract(session),
+            required=False,
+        )
+        if insights is not None:
+            result.insights = [insight_to_dict(insight) for insight in insights]
+
+        result.cache_stats = self._cache_delta(counters_before)
+        result.artifacts = EngineArtifacts(
+            session=session,
+            notebook=notebook,
+            query=query,
+            insights=list(insights) if insights is not None else [],
+        )
+        emit(ProgressEvent(request_id, EVENT_REQUEST_FINISHED))
+        return result
+
+    def explore_many(
+        self,
+        requests: Iterable[ExploreRequest],
+        *,
+        max_workers: int | None = None,
+        observer: ProgressObserver | None = None,
+    ) -> list[ExploreResult]:
+        """Process a batch of requests, fanned out over a thread pool.
+
+        Results are returned in request order.  Every request shares the
+        engine's execution cache, so overlapping requests reuse each other's
+        query results.  With ``max_workers=1`` the batch runs sequentially
+        (events of different requests never interleave); otherwise observer
+        callbacks may arrive concurrently from worker threads (per-request
+        ordering is still guaranteed).  The first failing request propagates
+        its exception after in-flight work completes.
+        """
+        batch: Sequence[ExploreRequest] = list(requests)
+        if not batch:
+            return []
+        labels = [
+            request.request_id or f"request-{index}"
+            for index, request in enumerate(batch)
+        ]
+        workers = max_workers if max_workers is not None else min(4, len(batch))
+        if workers <= 1 or len(batch) == 1:
+            return [
+                self.explore(request, observer=observer, _label=label)
+                for request, label in zip(batch, labels)
+            ]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(self.explore, request, observer=observer, _label=label)
+                for request, label in zip(batch, labels)
+            ]
+            return [future.result() for future in futures]
+
+    # -- internals -------------------------------------------------------------------
+    def _run_stage(
+        self,
+        result: ExploreResult,
+        stage_name: str,
+        request_id: str,
+        emit: ProgressObserver,
+        run: Callable[[], T],
+        *,
+        required: bool,
+    ) -> Optional[T]:
+        """Run one stage with timing, status bookkeeping and events.
+
+        Required stages re-raise failures as :class:`StageFailedError`;
+        optional stages record the failure on their status (plus a result
+        warning) and let the request complete, mirroring the stage-failure
+        policy of staged enrichment pipelines.
+        """
+        status = result.stage(stage_name)
+        emit(ProgressEvent(request_id, EVENT_STAGE_STARTED, stage_name))
+        started = time.perf_counter()
+        try:
+            value = run()
+        except Exception as exc:
+            status.seconds = time.perf_counter() - started
+            status.status = STATUS_FAILED
+            status.detail = f"{type(exc).__name__}: {exc}"
+            emit(
+                ProgressEvent(
+                    request_id, EVENT_STAGE_FINISHED, stage_name, {"status": STATUS_FAILED}
+                )
+            )
+            if required:
+                raise StageFailedError(stage_name, exc) from exc
+            result.warnings.append(f"stage {stage_name} failed: {exc}")
+            return None
+        status.seconds = time.perf_counter() - started
+        status.status = STATUS_COMPLETE
+        emit(
+            ProgressEvent(
+                request_id, EVENT_STAGE_FINISHED, stage_name, {"status": STATUS_COMPLETE}
+            )
+        )
+        return value
+
+    def _cache_delta(self, counters_before: tuple[int, int, int]) -> dict:
+        """Per-request cache counters (approximate under concurrent batches)."""
+        hits_before, misses_before, evictions_before = counters_before
+        hits_after, misses_after, evictions_after = self.cache.snapshot_counters()
+        hits = hits_after - hits_before
+        misses = misses_after - misses_before
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions_after - evictions_before,
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            "entries": len(self.cache),
+            "cached_rows": self.cache.cached_rows,
+        }

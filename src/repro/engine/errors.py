@@ -1,0 +1,68 @@
+"""Structured error types of the :mod:`repro.engine` service API.
+
+Every engine failure is an :class:`EngineError`.  Request problems are
+reported *before* any work starts as a :class:`RequestValidationError`
+carrying one :class:`FieldError` per offending field, so callers serving the
+engine over a wire can turn them into structured 4xx payloads instead of
+parsing exception strings.  Failures inside a pipeline stage surface as
+:class:`StageFailedError` with the stage name attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class EngineError(Exception):
+    """Base class of every error raised by the LINX engine API."""
+
+
+@dataclass(frozen=True)
+class FieldError:
+    """One validation problem: the offending request field and the reason."""
+
+    field: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.field}: {self.message}"
+
+    def to_dict(self) -> dict[str, str]:
+        return {"field": self.field, "message": self.message}
+
+
+class RequestValidationError(EngineError):
+    """An :class:`~repro.engine.request.ExploreRequest` failed validation.
+
+    Attributes
+    ----------
+    errors:
+        The individual field problems, in field order.
+    """
+
+    def __init__(self, errors: Sequence[FieldError]):
+        self.errors: tuple[FieldError, ...] = tuple(errors)
+        detail = "; ".join(str(error) for error in self.errors) or "invalid request"
+        super().__init__(f"invalid explore request: {detail}")
+
+    def fields(self) -> tuple[str, ...]:
+        """Names of the offending fields (useful in tests and error payloads)."""
+        return tuple(error.field for error in self.errors)
+
+    def to_dict(self) -> dict[str, object]:
+        return {"errors": [error.to_dict() for error in self.errors]}
+
+
+class StageFailedError(EngineError):
+    """A required pipeline stage raised; the request cannot produce a result.
+
+    Non-essential stages (notebook rendering, insight extraction) do not
+    raise this — their failure is recorded on the result's stage status and
+    the request still completes.
+    """
+
+    def __init__(self, stage: str, cause: BaseException):
+        self.stage = stage
+        self.cause = cause
+        super().__init__(f"stage {stage!r} failed: {cause}")

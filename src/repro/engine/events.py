@@ -1,0 +1,44 @@
+"""Progress events emitted while the engine processes a request.
+
+Observers receive one :class:`ProgressEvent` per lifecycle transition:
+``request_started`` / ``request_finished`` bracket the whole request, each
+pipeline stage emits ``stage_started`` / ``stage_finished`` (or
+``stage_skipped``), and the session-generation stage additionally streams
+``episode`` ticks so long CDRL trainings can drive progress bars.
+
+Events are plain frozen dataclasses; the observer is a simple callable so
+anything from ``list.append`` to a websocket push works.  With
+:meth:`~repro.engine.core.LinxEngine.explore_many` the observer may be
+invoked concurrently from worker threads — events of *different* requests
+interleave, but events of one request are always in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+EVENT_REQUEST_STARTED = "request_started"
+EVENT_REQUEST_FINISHED = "request_finished"
+EVENT_STAGE_STARTED = "stage_started"
+EVENT_STAGE_FINISHED = "stage_finished"
+EVENT_STAGE_SKIPPED = "stage_skipped"
+EVENT_EPISODE = "episode"
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress notification for one request."""
+
+    request_id: str
+    kind: str
+    stage: str = ""
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        stage = f" {self.stage}" if self.stage else ""
+        return f"[{self.request_id}] {self.kind}{stage}"
+
+
+#: Observer callback signature: receives every event, returns nothing.
+ProgressObserver = Callable[[ProgressEvent], None]

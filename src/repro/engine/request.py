@@ -1,0 +1,153 @@
+"""Declarative, JSON-serializable explore requests.
+
+An :class:`ExploreRequest` names *what* to explore — a registered dataset
+(plus an optional row cap and generation seed), the analytical goal, an
+optional explicit LDX specification and an episode budget — without holding
+any live objects, so it can be posted over a wire, queued, logged and
+replayed.  :meth:`ExploreRequest.validate` checks the request up front and
+reports every problem at once as a
+:class:`~repro.engine.errors.RequestValidationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Iterable, Mapping
+
+from repro.datasets.registry import dataset_names
+
+from .errors import FieldError, RequestValidationError
+
+#: Version of the request wire format (bump on incompatible changes).
+REQUEST_SCHEMA_VERSION = "1.0"
+
+
+@dataclass(frozen=True)
+class ExploreRequest:
+    """One declarative LINX exploration request.
+
+    Parameters
+    ----------
+    goal:
+        The analytical goal in natural language.  Used for specification
+        derivation (when ``ldx_text`` is not given) and echoed into the
+        rendered notebook.
+    dataset:
+        Name of a registered benchmark dataset (see
+        :func:`repro.datasets.registry.dataset_names`).
+    num_rows:
+        Optional row cap: generate/load at most this many rows.
+    dataset_seed:
+        Optional seed for the dataset generator (default: the registry's).
+    ldx_text:
+        Optional explicit LDX specification.  When given, the derivation
+        stage is skipped (the power-user path).
+    episodes:
+        Optional CDRL episode budget override.
+    seed:
+        Optional seed for session generation (policy init and sampling);
+        ``None`` defers to the session generator's configured seed.
+    request_id:
+        Optional caller-assigned identifier, echoed on progress events and
+        into the result.
+    """
+
+    goal: str
+    dataset: str
+    num_rows: int | None = None
+    dataset_seed: int | None = None
+    ldx_text: str | None = None
+    episodes: int | None = None
+    seed: int | None = None
+    request_id: str = ""
+    schema_version: str = REQUEST_SCHEMA_VERSION
+
+    # -- validation ------------------------------------------------------------------
+    def validation_errors(
+        self, known_datasets: Iterable[str] | None = None
+    ) -> list[FieldError]:
+        """Every problem with this request (empty when valid).
+
+        ``known_datasets`` overrides the registry lookup; pass ``None`` to
+        validate against the registered benchmark datasets, or an explicit
+        collection (e.g. when the caller supplies its own table).
+        """
+        errors: list[FieldError] = []
+        if self.schema_version != REQUEST_SCHEMA_VERSION:
+            errors.append(
+                FieldError(
+                    "schema_version",
+                    f"unsupported version {self.schema_version!r}; "
+                    f"expected {REQUEST_SCHEMA_VERSION!r}",
+                )
+            )
+        if not isinstance(self.goal, str) or not self.goal.strip():
+            errors.append(FieldError("goal", "must be a non-empty string"))
+        if not isinstance(self.dataset, str) or not self.dataset.strip():
+            errors.append(FieldError("dataset", "must be a non-empty string"))
+        else:
+            known = list(known_datasets) if known_datasets is not None else dataset_names()
+            if self.dataset.strip().lower() not in {name.lower() for name in known}:
+                errors.append(
+                    FieldError(
+                        "dataset",
+                        f"unknown dataset {self.dataset!r}; available: {sorted(known)}",
+                    )
+                )
+        for name, value in (("num_rows", self.num_rows), ("episodes", self.episodes)):
+            if value is not None and (
+                not _is_int(value) or value < 1
+            ):
+                errors.append(FieldError(name, "must be a positive integer or null"))
+        if self.dataset_seed is not None and not _is_int(self.dataset_seed):
+            errors.append(FieldError("dataset_seed", "must be an integer or null"))
+        if self.seed is not None and not _is_int(self.seed):
+            errors.append(FieldError("seed", "must be an integer or null"))
+        if self.ldx_text is not None and (
+            not isinstance(self.ldx_text, str) or not self.ldx_text.strip()
+        ):
+            errors.append(FieldError("ldx_text", "must be a non-empty string or null"))
+        if not isinstance(self.request_id, str):
+            errors.append(FieldError("request_id", "must be a string"))
+        return errors
+
+    def validate(self, known_datasets: Iterable[str] | None = None) -> "ExploreRequest":
+        """Raise :class:`RequestValidationError` unless the request is valid."""
+        errors = self.validation_errors(known_datasets)
+        if errors:
+            raise RequestValidationError(errors)
+        return self
+
+    # -- serialization ---------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-native dict representation (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExploreRequest":
+        """Rebuild a request from :meth:`to_dict` output.
+
+        Unknown keys are rejected (they usually indicate a schema mismatch);
+        field *values* are checked by :meth:`validate`, not here.
+        """
+        if not isinstance(payload, Mapping):
+            raise RequestValidationError(
+                [FieldError("request", f"expected an object, got {type(payload).__name__}")]
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise RequestValidationError(
+                [FieldError(name, "unknown request field") for name in unknown]
+            )
+        missing = [name for name in ("goal", "dataset") if name not in payload]
+        if missing:
+            raise RequestValidationError(
+                [FieldError(name, "required field is missing") for name in missing]
+            )
+        return cls(**dict(payload))
+
+
+def _is_int(value: Any) -> bool:
+    """True for genuine integers (bools are excluded on purpose)."""
+    return isinstance(value, int) and not isinstance(value, bool)

@@ -1,0 +1,79 @@
+"""Engine smoke check: a tiny batch through the full service API.
+
+Run by CI (``python -m repro.engine.smoke``) to catch wiring regressions in
+the service layer: it executes a 2-request :meth:`LinxEngine.explore_many`
+batch on a small dataset — one request with an explicit LDX specification,
+one through NL derivation — and asserts that
+
+* both requests complete with a generated session,
+* serialized results parse back losslessly
+  (``from_dict(json.loads(json.dumps(to_dict())))``), and
+* the shared execution cache was actually exercised.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.cdrl.agent import CdrlConfig
+
+from .core import LinxEngine
+from .request import ExploreRequest
+from .result import ExploreResult
+
+SMOKE_LDX = """
+ROOT CHILDREN <A1,A2>
+A1 LIKE [F,country,eq,(?<X>.*)] and CHILDREN {B1}
+B1 LIKE [G,(?<Y>.*),count,.*]
+A2 LIKE [F,country,neq,(?<X>.*)] and CHILDREN {B2}
+B2 LIKE [G,(?<Y>.*),count,.*]
+"""
+
+
+def main() -> int:
+    engine = LinxEngine(cdrl_config=CdrlConfig(episodes=12))
+    requests = [
+        ExploreRequest(
+            goal="Find a country with different viewing habits than the rest of the world",
+            dataset="netflix",
+            num_rows=300,
+            ldx_text=SMOKE_LDX,
+            seed=0,
+            request_id="smoke-explicit-ldx",
+        ),
+        ExploreRequest(
+            goal="Find a country with different viewing habits than the rest of the world",
+            dataset="netflix",
+            num_rows=300,
+            episodes=12,
+            seed=1,
+            request_id="smoke-derived-ldx",
+        ),
+    ]
+    results = engine.explore_many(requests, max_workers=2)
+    assert len(results) == len(requests)
+    for result in results:
+        assert result.operations, f"{result.request['request_id']}: empty session"
+        assert result.notebook_markdown, "notebook rendering failed"
+        payload = json.dumps(result.to_dict())
+        restored = ExploreResult.from_dict(json.loads(payload))
+        assert restored == result, "serialized result did not round-trip"
+        assert restored.to_dict() == result.to_dict(), "round-trip changed the payload"
+    stats = engine.cache_stats()
+    assert stats["hits"] + stats["misses"] > 0, "shared cache never exercised"
+    print("engine smoke ok:")
+    for result in results:
+        print(
+            f"  {result.request['request_id']}: "
+            f"queries={len([op for op in result.operations if op[0] != 'B'])}, "
+            f"compliant={result.fully_compliant}, "
+            f"fallback={result.derivation_fallback}, "
+            f"cache={result.cache_stats}"
+        )
+    print(f"  engine cache: {stats}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

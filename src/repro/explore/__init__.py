@@ -9,7 +9,7 @@ from .action_space import (
     ActionSpace,
     choice_from_indices,
 )
-from .cache import CacheStats, ExecutionCache
+from .cache import CacheStats, ExecutionCache, ThreadSafeExecutionCache
 from .diversity import operation_distance, result_distance, session_diversity
 from .environment import (
     ExplorationEnvironment,
@@ -61,6 +61,7 @@ __all__ = [
     "RootOperation",
     "SessionNode",
     "StepResult",
+    "ThreadSafeExecutionCache",
     "choice_from_indices",
     "conciseness",
     "filter_interestingness",

@@ -21,12 +21,21 @@ cache at all any more: :meth:`QueryExecutor.can_execute` is a static,
 schema-only check and :meth:`ActionSpace.valid_mask` batches it per head for
 policy-side action masking.
 
-The cache is deliberately unsynchronised (the trainers are single-threaded);
-wrap it if you share one across threads.
+The base cache is deliberately unsynchronised (the trainers are
+single-threaded); :class:`ThreadSafeExecutionCache` adds a lock for callers —
+like :class:`~repro.engine.core.LinxEngine` — that share one cache across a
+thread pool.
+
+Bounding is two-dimensional: ``max_entries`` caps the *number* of cached
+result views, and the optional ``max_cached_rows`` caps the approximate
+*volume* (total rows across all cached views), so thousands of near-full
+filtered copies of a large dataset cannot accumulate before count-based
+eviction kicks in.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -81,14 +90,29 @@ class ExecutionCache:
     max_entries:
         Upper bound on cached results; the least recently used entry is
         evicted when the bound is exceeded.  Must be positive.
+    max_cached_rows:
+        Optional upper bound on the approximate cached volume: the sum of
+        ``len(view)`` over all cached result views.  When exceeded, least
+        recently used entries are evicted until the budget is met again
+        (the most recent entry is always kept, even if it alone exceeds
+        the budget).  ``None`` (the default) disables volume bounding.
     """
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_cached_rows: int | None = None,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if max_cached_rows is not None and max_cached_rows < 1:
+            raise ValueError("max_cached_rows must be positive when given")
         self.max_entries = max_entries
+        self.max_cached_rows = max_cached_rows
         self.stats = CacheStats()
         self._entries: "OrderedDict[CacheKey, DataTable]" = OrderedDict()
+        self._row_counts: dict[CacheKey, int] = {}
+        self._cached_rows = 0
 
     @staticmethod
     def key_for(view: DataTable, operation: Operation) -> CacheKey:
@@ -109,11 +133,26 @@ class ExecutionCache:
     def put(self, view: DataTable, operation: Operation, result: DataTable) -> None:
         """Store the result of executing *operation* on *view*."""
         key = self.key_for(view, operation)
+        rows = len(result)
+        if key in self._row_counts:
+            self._cached_rows -= self._row_counts[key]
         self._entries[key] = result
         self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        self._row_counts[key] = rows
+        self._cached_rows += rows
+        while len(self._entries) > self.max_entries or (
+            self.max_cached_rows is not None
+            and self._cached_rows > self.max_cached_rows
+            and len(self._entries) > 1
+        ):
+            evicted_key, _ = self._entries.popitem(last=False)
+            self._cached_rows -= self._row_counts.pop(evicted_key)
             self.stats.evictions += 1
+
+    @property
+    def cached_rows(self) -> int:
+        """Approximate cached volume: total rows across all cached views."""
+        return self._cached_rows
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -124,11 +163,75 @@ class ExecutionCache:
     def clear(self) -> None:
         """Drop every entry and reset the statistics."""
         self._entries.clear()
+        self._row_counts.clear()
+        self._cached_rows = 0
         self.stats.reset()
+
+    def describe(self) -> dict[str, float | int | None]:
+        """Hit/miss counters plus occupancy, for telemetry payloads."""
+        summary: dict[str, float | int | None] = dict(self.stats.as_dict())
+        summary["entries"] = len(self._entries)
+        summary["cached_rows"] = self._cached_rows
+        summary["max_entries"] = self.max_entries
+        summary["max_cached_rows"] = self.max_cached_rows
+        return summary
+
+    def snapshot_counters(self) -> tuple[int, int, int]:
+        """A ``(hits, misses, evictions)`` snapshot (used for per-request deltas)."""
+        return (self.stats.hits, self.stats.misses, self.stats.evictions)
 
     def __repr__(self) -> str:
         return (
             f"ExecutionCache(entries={len(self)}/{self.max_entries}, "
+            f"rows={self._cached_rows}, "
             f"hits={self.stats.hits}, misses={self.stats.misses}, "
             f"hit_rate={self.stats.hit_rate:.2%})"
         )
+
+
+class ThreadSafeExecutionCache(ExecutionCache):
+    """An :class:`ExecutionCache` whose operations are guarded by a lock.
+
+    Used when one cache is shared across a thread pool (e.g. by
+    :meth:`repro.engine.core.LinxEngine.explore_many`).  Every public
+    operation — lookup, insert, clear, length, telemetry — holds the same
+    reentrant lock, so the LRU order, row accounting and statistics stay
+    consistent under concurrent request execution.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_cached_rows: int | None = None,
+    ):
+        super().__init__(max_entries=max_entries, max_cached_rows=max_cached_rows)
+        self._lock = threading.RLock()
+
+    def get(self, view: DataTable, operation: Operation) -> DataTable | None:
+        with self._lock:
+            return super().get(view, operation)
+
+    def put(self, view: DataTable, operation: Operation, result: DataTable) -> None:
+        with self._lock:
+            super().put(view, operation, result)
+
+    def clear(self) -> None:
+        with self._lock:
+            super().clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return super().__len__()
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return super().__contains__(key)
+
+    def describe(self) -> dict[str, float | int | None]:
+        with self._lock:
+            return super().describe()
+
+    def snapshot_counters(self) -> tuple[int, int, int]:
+        """A consistent ``(hits, misses, evictions)`` snapshot."""
+        with self._lock:
+            return (self.stats.hits, self.stats.misses, self.stats.evictions)

@@ -17,6 +17,7 @@ actions at the distribution level.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Optional, Protocol
 
@@ -128,21 +129,36 @@ class ExplorationEnvironment:
         self._step_count = 0
         self._mask_node: Optional[SessionNode] = None
         self._masks: Optional[dict[str, np.ndarray]] = None
+        # View-dependent observation features, memoised by view fingerprint.
+        # Views are content-addressed (and shared via the execution cache), so
+        # the per-column scan runs once per distinct view across all episodes.
+        self._view_feature_memo: "OrderedDict[tuple, tuple[float, ...]]" = OrderedDict()
 
     # -- observation ---------------------------------------------------------------------
     def observation_size(self) -> int:
         """Length of the observation vector (fixed for a given dataset)."""
         return 4 + 3 * len(self.dataset.columns)
 
-    def observe(self) -> np.ndarray:
-        """Featurise the current state ``S_i`` (the current view and progress)."""
-        view = self.session.current.view
+    #: Bound on the per-environment view-feature memo (distinct views seen).
+    VIEW_FEATURE_MEMO_MAX = 4096
+
+    def _view_features(self, view: DataTable) -> tuple[float, ...]:
+        """The view-dependent part of the observation, memoised by fingerprint.
+
+        Returns ``(size_feature, width_feature, *per_column_triples)``; the
+        progress features (depth, step counter) are appended by
+        :meth:`observe` since they change every step.
+        """
+        key = view.fingerprint()
+        memo = self._view_feature_memo
+        cached = memo.get(key)
+        if cached is not None:
+            memo.move_to_end(key)
+            return cached
         total_rows = max(1, len(self.dataset))
         features: list[float] = [
             math.log1p(len(view)) / math.log1p(total_rows),
             len(view.columns) / max(1, len(self.dataset.columns)),
-            self.session.current.depth() / max(1, self.episode_length),
-            self._step_count / self.episode_length,
         ]
         for column in self.dataset.columns:
             if column in view:
@@ -153,6 +169,22 @@ class ExplorationEnvironment:
                 )
             else:
                 features.extend([0.0, 0.0, 0.0])
+        result = tuple(features)
+        memo[key] = result
+        while len(memo) > self.VIEW_FEATURE_MEMO_MAX:
+            memo.popitem(last=False)
+        return result
+
+    def observe(self) -> np.ndarray:
+        """Featurise the current state ``S_i`` (the current view and progress)."""
+        view_features = self._view_features(self.session.current.view)
+        features = [
+            view_features[0],
+            view_features[1],
+            self.session.current.depth() / max(1, self.episode_length),
+            self._step_count / self.episode_length,
+            *view_features[2:],
+        ]
         return np.asarray(features, dtype=np.float64)
 
     # -- action validity -----------------------------------------------------------------

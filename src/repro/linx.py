@@ -1,17 +1,21 @@
-"""The end-to-end LINX system: natural-language goal → exploration notebook.
+"""The legacy LINX facade: a thin wrapper over :class:`repro.engine.LinxEngine`.
 
-This facade wires the two steps of Section 3 together:
+This module keeps the original one-call API (goal → exploration notebook)
+working while the engine provides the actual pipeline.  New code should use
+the engine directly — declarative :class:`~repro.engine.request.ExploreRequest`
+objects, batch execution via :meth:`~repro.engine.core.LinxEngine.explore_many`
+and serializable :class:`~repro.engine.result.ExploreResult` responses::
 
-1. **Specification derivation** — the analytical goal and a dataset
-   description are turned into LDX specifications via the chained
-   NL→PyLDX→LDX prompting pipeline (Section 6), using the configured LLM
-   client (offline: the simulated GPT-4 tier).
-2. **Constrained session generation** — the dataset and the derived
-   specifications are handed to the CDRL engine (Section 5), which produces
-   a specification-compliant, high-utility exploration session.
+    from repro.engine import ExploreRequest, LinxEngine
 
-The result is returned as a :class:`LinxOutput` bundling the session, the
-rendered notebook, the derived specifications and extracted insights.
+    engine = LinxEngine()
+    result = engine.explore(ExploreRequest(goal="...", dataset="netflix"))
+
+The wrapper's behavioural additions over the original facade: the permissive
+fallback that replaces unparseable specifications is now *surfaced*
+(:attr:`LinxOutput.derivation_fallback` plus a warning) instead of silent,
+and repeated :meth:`Linx.explore` calls share the engine's execution cache
+and few-shot bank instead of rebuilding them per instance.
 """
 
 from __future__ import annotations
@@ -19,19 +23,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.bench.generator import generate_benchmark
-from repro.cdrl.agent import CdrlConfig, LinxCdrlAgent
+from repro.cdrl.agent import CdrlConfig, CdrlResult, LinxCdrlAgent
 from repro.dataframe.table import DataTable
 from repro.datasets.registry import load_dataset
+from repro.engine.core import LinxEngine
+from repro.engine.request import ExploreRequest
 from repro.explore.session import ExplorationSession
 from repro.ldx.ast import LdxQuery
-from repro.ldx.parser import parse_ldx, try_parse_ldx
 from repro.llm.interface import LLMClient
-from repro.llm.mock import gpt4_client
-from repro.nl2ldx.fewshot import SCENARIOS, FewShotBank
-from repro.nl2ldx.pipeline import ChainedPipeline
-from repro.notebook.insights import Insight, extract_insights
-from repro.notebook.render import Notebook, render_notebook
+from repro.notebook.insights import Insight
+from repro.notebook.render import Notebook
 
 
 @dataclass
@@ -46,6 +47,10 @@ class LinxOutput:
     notebook: Notebook
     insights: list[Insight] = field(default_factory=list)
     fully_compliant: bool = False
+    #: True when the specification (derived or explicit) failed to parse and
+    #: the permissive fallback specification was substituted.
+    derivation_fallback: bool = False
+    warnings: list[str] = field(default_factory=list)
 
     def markdown(self) -> str:
         return self.notebook.to_markdown()
@@ -67,37 +72,27 @@ class Linx:
         self,
         llm_client: LLMClient | None = None,
         cdrl_config: CdrlConfig | None = None,
+        engine: LinxEngine | None = None,
     ):
-        self.llm_client = llm_client or gpt4_client()
-        self.cdrl_config = cdrl_config or CdrlConfig(episodes=150)
-        # The few-shot bank is built from the benchmark's goal/LDX pairs.
-        self._benchmark = generate_benchmark()
-        self._bank = FewShotBank(self._benchmark)
-        self._pipeline = ChainedPipeline(self.llm_client, self._bank)
+        self.engine = engine or LinxEngine(
+            llm_client=llm_client, cdrl_config=cdrl_config
+        )
+        self.llm_client = self.engine.llm_client
+        self.cdrl_config = self.engine.cdrl_config
 
     # -- step 1: specification derivation -------------------------------------------------
     def derive_specifications(self, dataset_name: str, goal: str) -> str:
         """Derive LDX specification text from the analytical goal (Section 6)."""
-        from repro.bench.generator import BenchmarkInstance
-
-        probe = BenchmarkInstance(
-            instance_id=-1,
-            meta_goal_id=0,
-            meta_goal_name="ad-hoc",
-            dataset=dataset_name,
-            goal=goal,
-            ldx_text="ROOT CHILDREN <A1>\nA1 LIKE [G,.*]",
-        )
-        scenario = SCENARIOS[0]  # use every available example (seen dataset & meta-goal)
-        result = self._pipeline.derive(probe, scenario)
-        return result.ldx_text
+        return self.engine.derive_specifications(dataset_name, goal)
 
     # -- step 2: constrained session generation --------------------------------------------
     def generate_session(
         self, dataset: DataTable, ldx_text: str, episodes: Optional[int] = None
-    ):
+    ) -> CdrlResult:
         """Generate a compliant exploration session for explicit LDX specifications."""
-        agent = LinxCdrlAgent(dataset, ldx_text, config=self.cdrl_config)
+        agent = LinxCdrlAgent(
+            dataset, ldx_text, config=self.cdrl_config, cache=self.engine.cache
+        )
         return agent.run(episodes=episodes)
 
     # -- end-to-end ------------------------------------------------------------------------
@@ -115,23 +110,24 @@ class Linx:
         (useful when the user writes LDX manually, as in the ATENA-PRO demo).
         """
         table = load_dataset(dataset) if isinstance(dataset, str) else dataset
-        if ldx_text is None:
-            ldx_text = self.derive_specifications(table.name, goal)
-        query = try_parse_ldx(ldx_text)
-        if query is None:
-            # Fall back to a permissive specification so the engine still produces
-            # a useful (if less targeted) session instead of failing outright.
-            ldx_text = "ROOT CHILDREN <A1,A2>\nA1 LIKE [F,.*]\nA2 LIKE [G,.*]"
-            query = parse_ldx(ldx_text)
-        result = self.generate_session(table, ldx_text, episodes=episodes)
-        notebook = render_notebook(result.session, goal=goal)
+        request = ExploreRequest(
+            goal=goal,
+            dataset=table.name,
+            ldx_text=ldx_text,
+            episodes=episodes,
+        )
+        result = self.engine.explore(request, table=table)
+        artifacts = result.artifacts
+        assert artifacts is not None and artifacts.session is not None
         return LinxOutput(
             goal=goal,
-            dataset_name=table.name,
-            ldx_text=ldx_text,
-            query=query,
-            session=result.session,
-            notebook=notebook,
-            insights=extract_insights(result.session),
+            dataset_name=result.dataset_name,
+            ldx_text=result.ldx_text,
+            query=artifacts.query,
+            session=artifacts.session,
+            notebook=artifacts.notebook,
+            insights=artifacts.insights,
             fully_compliant=result.fully_compliant,
+            derivation_fallback=result.derivation_fallback,
+            warnings=list(result.warnings),
         )

@@ -147,6 +147,70 @@ class TestExecutionCache:
             ExecutionCache(max_entries=0)
 
 
+class TestRowBudgetBounding:
+    def test_cached_rows_tracked(self, small_table):
+        cache = ExecutionCache()
+        executor = QueryExecutor(cache=cache)
+        india = executor.execute(small_table, FilterOperation("country", "eq", "India"))
+        grouped = executor.execute(small_table, GroupAggOperation("type", "count", "type"))
+        assert cache.cached_rows == len(india) + len(grouped)
+
+    def test_eviction_triggers_on_row_budget(self, small_table):
+        # Entry count stays far below max_entries; only the row budget binds.
+        cache = ExecutionCache(max_entries=100, max_cached_rows=8)
+        executor = QueryExecutor(cache=cache)
+        ops = [
+            FilterOperation("country", "eq", "India"),   # 3 rows
+            FilterOperation("country", "eq", "US"),      # 3 rows
+            FilterOperation("country", "eq", "UK"),      # 2 rows
+            FilterOperation("type", "eq", "Movie"),      # 4 rows
+        ]
+        for op in ops:
+            executor.execute(small_table, op)
+        assert cache.stats.evictions > 0
+        assert cache.cached_rows <= 8
+        # Oldest (India) was evicted to make room; re-executing misses again.
+        executor.execute(small_table, ops[0])
+        assert cache.stats.hits == 0
+
+    def test_single_oversized_entry_is_kept(self, small_table):
+        cache = ExecutionCache(max_entries=100, max_cached_rows=2)
+        executor = QueryExecutor(cache=cache)
+        big = executor.execute(small_table, FilterOperation("type", "eq", "Movie"))
+        assert len(big) > 2
+        assert len(cache) == 1  # most recent entry survives even over budget
+        assert executor.execute(small_table, FilterOperation("type", "eq", "Movie")) is big
+
+    def test_replacing_an_entry_does_not_double_count(self, small_table):
+        cache = ExecutionCache(max_cached_rows=100)
+        executor = QueryExecutor(cache=cache)
+        op = FilterOperation("country", "eq", "India")
+        result = executor.execute(small_table, op)
+        cache.put(small_table, op, result)  # idempotent re-put
+        assert cache.cached_rows == len(result)
+
+    def test_clear_resets_row_accounting(self, small_table):
+        cache = ExecutionCache(max_cached_rows=100)
+        executor = QueryExecutor(cache=cache)
+        executor.execute(small_table, FilterOperation("country", "eq", "India"))
+        cache.clear()
+        assert cache.cached_rows == 0
+
+    def test_invalid_row_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionCache(max_cached_rows=0)
+
+    def test_describe_reports_occupancy(self, small_table):
+        cache = ExecutionCache(max_entries=10, max_cached_rows=50)
+        executor = QueryExecutor(cache=cache)
+        executor.execute(small_table, FilterOperation("country", "eq", "India"))
+        summary = cache.describe()
+        assert summary["entries"] == 1
+        assert summary["cached_rows"] == cache.cached_rows
+        assert summary["max_entries"] == 10
+        assert summary["max_cached_rows"] == 50
+
+
 REPLAY_OPS = [
     FilterOperation("country", "eq", "India"),
     GroupAggOperation("type", "count", "type"),

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -229,6 +230,29 @@ class TestActionSpaceAndEnvironment:
     def test_session_score_positive_for_good_session(self, compliant_session):
         scorer = GenericExplorationReward()
         assert scorer.session_score(compliant_session) > 0
+
+    def test_observation_memoised_per_view(self, small_table):
+        env = ExplorationEnvironment(small_table, episode_length=4)
+        first = env.reset()
+        assert len(env._view_feature_memo) == 1  # root view featurised once
+        env.step(ActionChoice(action_type=1, filter_attr=0, filter_op=0, filter_term=0))
+        assert len(env._view_feature_memo) == 2
+        # A fresh episode revisits the same views: no new memo entries, and
+        # the observation is identical to the first episode's.
+        second = env.reset()
+        assert len(env._view_feature_memo) == 2
+        assert np.array_equal(first, second)
+
+    def test_observation_progress_features_still_change_per_step(self, small_table):
+        env = ExplorationEnvironment(small_table, episode_length=4)
+        env.reset()
+        before = env.observe()
+        result = env.step(ActionChoice(action_type=0))  # back at root: same view
+        after = result.observation
+        # View features (indices 0-1 and 4+) match; progress (2-3) moved on.
+        assert np.array_equal(before[:2], after[:2])
+        assert np.array_equal(before[4:], after[4:])
+        assert before[3] != after[3]
 
 
 @given(
