@@ -3,6 +3,12 @@
 LINX group-by operations are parametric tuples ``[G, g_attr, agg_func,
 agg_attr]`` (Section 3).  This module provides the closed set of aggregation
 functions used by the action space and the notebook renderer.
+
+These per-list implementations are the *reference semantics*: the
+vectorised grouped kernels in :meth:`DataTable._grouped_aggregate` must
+produce the same values (nulls skipped, ``None`` for empty groups,
+``AggregationError`` on type violations), and object-backed mixed-type
+columns fall back to them directly.
 """
 
 from __future__ import annotations

@@ -4,12 +4,21 @@ LINX filter operations are parametric triples ``[F, attr, op, term]`` where
 ``op`` is one of a small closed set of comparison operators (Section 3 of
 the paper).  This module implements those operators as composable predicate
 objects that evaluate against a :class:`~repro.dataframe.column.Column`.
+
+:meth:`Predicate.mask` is the vectorised columnar path: typed columns are
+compared buffer-at-a-time with numpy kernels and return a boolean ndarray.
+Object-backed (coercion-bypassing) columns fall back to the per-cell
+:meth:`Predicate.evaluate` reference, so semantics are identical either way
+-- nulls never match, numeric comparison happens when both sides parse as
+numbers, and textual operators are case-insensitive.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
+
+import numpy as np
 
 from .column import Column
 from .errors import FilterError
@@ -81,12 +90,12 @@ def _compare_numeric(op: str, value: Any, term: Any) -> bool:
     raise FilterError(f"unsupported numeric operator {op!r}")
 
 
-#: Comparator callables used by the columnar fast path in :meth:`Predicate.mask`.
-_NUMERIC_COMPARATORS: dict[str, Callable[[float, float], bool]] = {
-    "gt": lambda a, b: a > b,
-    "ge": lambda a, b: a >= b,
-    "lt": lambda a, b: a < b,
-    "le": lambda a, b: a <= b,
+#: Vectorised comparison kernels used by :meth:`Predicate.mask`.
+_NUMERIC_UFUNCS: dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
+    "gt": np.greater,
+    "ge": np.greater_equal,
+    "lt": np.less,
+    "le": np.less_equal,
 }
 
 
@@ -114,7 +123,8 @@ class Predicate:
         """Evaluate the predicate against a single cell value.
 
         Nulls never satisfy a predicate, matching SQL three-valued logic
-        collapsed to False.
+        collapsed to False.  This is the reference semantics the vectorised
+        :meth:`mask` reproduces exactly.
         """
         if value is None:
             return False
@@ -136,67 +146,76 @@ class Predicate:
             return text.endswith(needle)
         raise FilterError(f"unsupported operator {op!r}")
 
-    def mask(self, column: Column) -> list[bool]:
-        """Evaluate the predicate over every row of *column*.
+    # -- columnar evaluation -------------------------------------------------------
+    def mask_reference(self, values: Sequence[Any]) -> list[bool]:
+        """Pure-Python per-cell evaluation (the reference for property tests)."""
+        return [self.evaluate(value) for value in values]
 
-        This is the single-pass columnar fast path: the operator dispatch and
-        the term coercion happen once per column instead of once per cell, and
-        the loop body specialises on the column dtype.  Semantics are
-        identical to calling :meth:`evaluate` per cell (nulls never match).
+    def mask(self, column: Column) -> np.ndarray:
+        """Evaluate the predicate over every row of *column* (vectorised).
+
+        Returns a boolean ndarray.  Typed int/float/str buffers use numpy
+        comparison kernels; object-backed mixed columns dispatch per cell via
+        :meth:`evaluate` so dtype-bypassed columns behave identically.
         """
+        data, null_mask = column.buffers()
+        if data.dtype == object:
+            return np.asarray(self.mask_reference(column.values), dtype=bool)
         op = self.op
         term = self.term
-        values = column.values
+        valid = ~null_mask
+        n = len(data)
         if op in ("gt", "ge", "lt", "le"):
             try:
                 rhs = float(term)
             except (TypeError, ValueError):
-                return [False] * len(values)
-            compare = _NUMERIC_COMPARATORS[op]
-            out: list[bool] = []
-            append = out.append
-            for v in values:
-                if v is None:
-                    append(False)
-                    continue
-                try:
-                    lhs = float(v)
-                except (TypeError, ValueError):
-                    append(False)
-                    continue
-                append(compare(lhs, rhs))
+                return np.zeros(n, dtype=bool)
+            compare = _NUMERIC_UFUNCS[op]
+            if column.is_numeric:
+                out = compare(data, rhs)
+                out &= valid
+                return out
+            # String columns: cells that parse as numbers participate, the
+            # rest are False -- try a wholesale cast, fall back per cell.
+            out = np.zeros(n, dtype=bool)
+            sub = data[valid]
+            try:
+                nums = sub.astype(np.float64)
+            except (TypeError, ValueError):
+                out[valid] = [
+                    _compare_numeric(op, v, rhs) for v in sub.tolist()
+                ]
+            else:
+                out[valid] = compare(nums, rhs)
             return out
         if op in ("eq", "neq"):
-            want = op == "eq"
             term_str = str(term)
-            try:
-                term_num = float(term)
-            except (TypeError, ValueError):
-                term_num = None
-            out = []
-            append = out.append
-            # Dispatch on the cell's type (not the column dtype) so
-            # dtype-bypassed mixed columns behave exactly like evaluate().
-            for v in values:
-                if v is None:
-                    append(False)
-                elif (
-                    term_num is not None
-                    and isinstance(v, (int, float))
-                    and not isinstance(v, bool)
-                ):
-                    append((float(v) == term_num) == want)
+            if column.is_numeric:
+                try:
+                    term_num = float(term)
+                except (TypeError, ValueError):
+                    term_num = None
+                if term_num is not None:
+                    out = (data == term_num) if op == "eq" else (data != term_num)
                 else:
-                    append((str(v) == term_str) == want)
+                    strings = data.astype(str)
+                    out = (strings == term_str) if op == "eq" else (strings != term_str)
+            else:
+                out = (data == term_str) if op == "eq" else (data != term_str)
+            out &= valid
             return out
         needle = str(term).lower()
+        lowered = column._lower_strings()
         if op == "contains":
-            return [v is not None and needle in str(v).lower() for v in values]
-        if op == "startswith":
-            return [v is not None and str(v).lower().startswith(needle) for v in values]
-        if op == "endswith":
-            return [v is not None and str(v).lower().endswith(needle) for v in values]
-        raise FilterError(f"unsupported operator {op!r}")
+            out = np.char.find(lowered, needle) >= 0
+        elif op == "startswith":
+            out = np.char.startswith(lowered, needle)
+        elif op == "endswith":
+            out = np.char.endswith(lowered, needle)
+        else:
+            raise FilterError(f"unsupported operator {op!r}")
+        out &= valid
+        return out
 
     def describe(self) -> str:
         """Human readable rendering used in notebooks, e.g. ``country = India``."""
@@ -214,26 +233,25 @@ class Predicate:
         return f"{self.column} {symbol} {self.term}"
 
 
-def combine_and(masks: list[list[bool]]) -> list[bool]:
-    """AND-combine several row masks of equal length."""
-    if not masks:
-        raise FilterError("combine_and() requires at least one mask")
-    length = len(masks[0])
-    for mask in masks:
-        if len(mask) != length:
-            raise FilterError("masks must have equal length")
-    return [all(mask[i] for mask in masks) for i in range(length)]
+def combine_and(masks: list) -> np.ndarray:
+    """AND-combine several row masks (lists or boolean ndarrays) of equal length."""
+    return _combine(masks, np.logical_and, "combine_and")
 
 
-def combine_or(masks: list[list[bool]]) -> list[bool]:
-    """OR-combine several row masks of equal length."""
-    if not masks:
-        raise FilterError("combine_or() requires at least one mask")
-    length = len(masks[0])
-    for mask in masks:
-        if len(mask) != length:
+def combine_or(masks: list) -> np.ndarray:
+    """OR-combine several row masks (lists or boolean ndarrays) of equal length."""
+    return _combine(masks, np.logical_or, "combine_or")
+
+
+def _combine(masks: list, op: np.ufunc, caller: str) -> np.ndarray:
+    if not len(masks):
+        raise FilterError(f"{caller}() requires at least one mask")
+    arrays = [np.asarray(mask, dtype=bool) for mask in masks]
+    length = len(arrays[0])
+    for array in arrays:
+        if len(array) != length:
             raise FilterError("masks must have equal length")
-    return [any(mask[i] for mask in masks) for i in range(length)]
+    return op.reduce(arrays) if len(arrays) > 1 else arrays[0]
 
 
 def predicate_from_parts(column: str, op: str, term: Any) -> Predicate:

@@ -12,7 +12,7 @@ import io
 from pathlib import Path
 from typing import Any, Sequence
 
-from .column import infer_dtype, coerce_value
+from .column import Column, infer_dtype, is_null
 from .errors import IOFormatError
 from .table import DataTable
 
@@ -68,12 +68,20 @@ def read_delimited_text(text: str, delimiter: str = ",", name: str = "table") ->
         for col, cell in zip(header, row):
             columns[col].append(_parse_cell(cell))
 
-    # Normalise mixed int/float columns to a single dtype.
-    normalised: dict[str, list[Any]] = {}
+    # Normalise mixed int/float columns to a single dtype.  Genuinely mixed
+    # int/str columns stay object-backed (Column.from_raw) so integers are
+    # not silently coerced to strings on load; such columns keep the
+    # type-aware ordering and per-cell predicate semantics.
+    cols: list[Column] = []
     for col, values in columns.items():
         dtype = infer_dtype(values)
-        normalised[col] = [coerce_value(v, dtype) for v in values]
-    return DataTable(normalised, name=name)
+        if dtype == "str" and any(
+            not isinstance(v, str) and not is_null(v) for v in values
+        ):
+            cols.append(Column.from_raw(col, values))
+        else:
+            cols.append(Column(col, values, dtype=dtype))
+    return DataTable(cols, name=name)
 
 
 def read_csv(path: str | Path, name: str | None = None) -> DataTable:

@@ -16,10 +16,15 @@ returns the *same* immutable ``DataTable`` object that the original execution
 produced, so repeated episodes share views (and all the per-view memoised
 statistics that hang off them) instead of re-scanning the data.
 
-Only successful executions are cached.  Validity testing does not need the
-cache at all any more: :meth:`QueryExecutor.can_execute` is a static,
-schema-only check and :meth:`ActionSpace.valid_mask` batches it per head for
-policy-side action masking.
+Successful executions are cached as result views; runtime *failures* are
+cached too, in a separate bounded negative map (``(view, operation)`` ->
+error message).  Validity testing is mostly static —
+:meth:`QueryExecutor.can_execute` is a schema-only check and
+:meth:`ActionSpace.valid_mask` batches it per head for policy-side action
+masking — but operations that pass the static check and still fail at
+runtime (e.g. an ``AggregationError`` over mixed-type values) would
+otherwise re-execute from scratch on every repeat; the negative cache
+short-circuits them.
 
 The base cache is deliberately unsynchronised (the trainers are
 single-threaded); :class:`ThreadSafeExecutionCache` adds a lock for callers —
@@ -46,6 +51,9 @@ from .operations import Operation
 #: Default maximum number of cached result views.
 DEFAULT_MAX_ENTRIES = 4096
 
+#: Default maximum number of cached failure outcomes.
+DEFAULT_MAX_ERROR_ENTRIES = 1024
+
 #: Cache key: (view fingerprint, operation signature).
 CacheKey = tuple[tuple, tuple[str, ...]]
 
@@ -57,6 +65,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Lookups answered from the negative (cached-failure) map.
+    negative_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -73,6 +83,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "negative_hits": self.negative_hits,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -80,6 +91,7 @@ class CacheStats:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.negative_hits = 0
 
 
 class ExecutionCache:
@@ -96,23 +108,33 @@ class ExecutionCache:
         recently used entries are evicted until the budget is met again
         (the most recent entry is always kept, even if it alone exceeds
         the budget).  ``None`` (the default) disables volume bounding.
+    max_error_entries:
+        Upper bound on cached *failure* outcomes (runtime execution errors
+        memoised by :meth:`put_error`); the least recently used failure is
+        dropped when exceeded.  Failures are bounded separately from
+        results because an error entry is just a message string.
     """
 
     def __init__(
         self,
         max_entries: int = DEFAULT_MAX_ENTRIES,
         max_cached_rows: int | None = None,
+        max_error_entries: int = DEFAULT_MAX_ERROR_ENTRIES,
     ):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         if max_cached_rows is not None and max_cached_rows < 1:
             raise ValueError("max_cached_rows must be positive when given")
+        if max_error_entries < 1:
+            raise ValueError("max_error_entries must be positive")
         self.max_entries = max_entries
         self.max_cached_rows = max_cached_rows
+        self.max_error_entries = max_error_entries
         self.stats = CacheStats()
         self._entries: "OrderedDict[CacheKey, DataTable]" = OrderedDict()
         self._row_counts: dict[CacheKey, int] = {}
         self._cached_rows = 0
+        self._errors: "OrderedDict[CacheKey, str]" = OrderedDict()
 
     @staticmethod
     def key_for(view: DataTable, operation: Operation) -> CacheKey:
@@ -149,10 +171,37 @@ class ExecutionCache:
             self._cached_rows -= self._row_counts.pop(evicted_key)
             self.stats.evictions += 1
 
+    def get_error(self, view: DataTable, operation: Operation) -> str | None:
+        """The memoised failure message for ``(view, operation)``, or ``None``.
+
+        A hit counts towards ``stats.negative_hits``; a miss is silent (the
+        caller is about to execute and will count the regular miss).
+        """
+        key = self.key_for(view, operation)
+        message = self._errors.get(key)
+        if message is None:
+            return None
+        self._errors.move_to_end(key)
+        self.stats.negative_hits += 1
+        return message
+
+    def put_error(self, view: DataTable, operation: Operation, message: str) -> None:
+        """Memoise a runtime execution failure for ``(view, operation)``."""
+        key = self.key_for(view, operation)
+        self._errors[key] = message
+        self._errors.move_to_end(key)
+        while len(self._errors) > self.max_error_entries:
+            self._errors.popitem(last=False)
+
     @property
     def cached_rows(self) -> int:
         """Approximate cached volume: total rows across all cached views."""
         return self._cached_rows
+
+    @property
+    def negative_entries(self) -> int:
+        """Number of memoised failure outcomes."""
+        return len(self._errors)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -161,10 +210,11 @@ class ExecutionCache:
         return key in self._entries
 
     def clear(self) -> None:
-        """Drop every entry and reset the statistics."""
+        """Drop every entry (results and failures) and reset the statistics."""
         self._entries.clear()
         self._row_counts.clear()
         self._cached_rows = 0
+        self._errors.clear()
         self.stats.reset()
 
     def describe(self) -> dict[str, float | int | None]:
@@ -172,8 +222,10 @@ class ExecutionCache:
         summary: dict[str, float | int | None] = dict(self.stats.as_dict())
         summary["entries"] = len(self._entries)
         summary["cached_rows"] = self._cached_rows
+        summary["negative_entries"] = len(self._errors)
         summary["max_entries"] = self.max_entries
         summary["max_cached_rows"] = self.max_cached_rows
+        summary["max_error_entries"] = self.max_error_entries
         return summary
 
     def snapshot_counters(self) -> tuple[int, int, int]:
@@ -203,8 +255,13 @@ class ThreadSafeExecutionCache(ExecutionCache):
         self,
         max_entries: int = DEFAULT_MAX_ENTRIES,
         max_cached_rows: int | None = None,
+        max_error_entries: int = DEFAULT_MAX_ERROR_ENTRIES,
     ):
-        super().__init__(max_entries=max_entries, max_cached_rows=max_cached_rows)
+        super().__init__(
+            max_entries=max_entries,
+            max_cached_rows=max_cached_rows,
+            max_error_entries=max_error_entries,
+        )
         self._lock = threading.RLock()
 
     def get(self, view: DataTable, operation: Operation) -> DataTable | None:
@@ -214,6 +271,14 @@ class ThreadSafeExecutionCache(ExecutionCache):
     def put(self, view: DataTable, operation: Operation, result: DataTable) -> None:
         with self._lock:
             super().put(view, operation, result)
+
+    def get_error(self, view: DataTable, operation: Operation) -> str | None:
+        with self._lock:
+            return super().get_error(view, operation)
+
+    def put_error(self, view: DataTable, operation: Operation, message: str) -> None:
+        with self._lock:
+            super().put_error(view, operation, message)
 
     def clear(self) -> None:
         with self._lock:

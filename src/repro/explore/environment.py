@@ -132,7 +132,7 @@ class ExplorationEnvironment:
         # View-dependent observation features, memoised by view fingerprint.
         # Views are content-addressed (and shared via the execution cache), so
         # the per-column scan runs once per distinct view across all episodes.
-        self._view_feature_memo: "OrderedDict[tuple, tuple[float, ...]]" = OrderedDict()
+        self._view_feature_memo: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
 
     # -- observation ---------------------------------------------------------------------
     def observation_size(self) -> int:
@@ -142,12 +142,14 @@ class ExplorationEnvironment:
     #: Bound on the per-environment view-feature memo (distinct views seen).
     VIEW_FEATURE_MEMO_MAX = 4096
 
-    def _view_features(self, view: DataTable) -> tuple[float, ...]:
+    def _view_features(self, view: DataTable) -> np.ndarray:
         """The view-dependent part of the observation, memoised by fingerprint.
 
-        Returns ``(size_feature, width_feature, *per_column_triples)``; the
-        progress features (depth, step counter) are appended by
-        :meth:`observe` since they change every step.
+        Returns ``[size_feature, width_feature, *per_column_triples]`` as a
+        read-only float64 array built straight from the view's column
+        buffers (the per-column stats are numpy reductions memoised on the
+        immutable columns); the progress features (depth, step counter) are
+        spliced in by :meth:`observe` since they change every step.
         """
         key = view.fingerprint()
         memo = self._view_feature_memo
@@ -156,36 +158,33 @@ class ExplorationEnvironment:
             memo.move_to_end(key)
             return cached
         total_rows = max(1, len(self.dataset))
-        features: list[float] = [
-            math.log1p(len(view)) / math.log1p(total_rows),
-            len(view.columns) / max(1, len(self.dataset.columns)),
-        ]
-        for column in self.dataset.columns:
+        dataset_columns = self.dataset.columns
+        features = np.zeros(2 + 3 * len(dataset_columns), dtype=np.float64)
+        features[0] = math.log1p(len(view)) / math.log1p(total_rows)
+        features[1] = len(view.columns) / max(1, len(dataset_columns))
+        rows = max(1, len(view))
+        for slot, column in enumerate(dataset_columns):
             if column in view:
                 col = view.column(column)
-                rows = max(1, len(view))
-                features.extend(
-                    [1.0, col.nunique() / rows, col.null_count() / rows]
-                )
-            else:
-                features.extend([0.0, 0.0, 0.0])
-        result = tuple(features)
-        memo[key] = result
+                base = 2 + 3 * slot
+                features[base] = 1.0
+                features[base + 1] = col.nunique() / rows
+                features[base + 2] = col.null_count() / rows
+        features.flags.writeable = False
+        memo[key] = features
         while len(memo) > self.VIEW_FEATURE_MEMO_MAX:
             memo.popitem(last=False)
-        return result
+        return features
 
     def observe(self) -> np.ndarray:
         """Featurise the current state ``S_i`` (the current view and progress)."""
         view_features = self._view_features(self.session.current.view)
-        features = [
-            view_features[0],
-            view_features[1],
-            self.session.current.depth() / max(1, self.episode_length),
-            self._step_count / self.episode_length,
-            *view_features[2:],
-        ]
-        return np.asarray(features, dtype=np.float64)
+        features = np.empty(2 + len(view_features), dtype=np.float64)
+        features[0:2] = view_features[0:2]
+        features[2] = self.session.current.depth() / max(1, self.episode_length)
+        features[3] = self._step_count / self.episode_length
+        features[4:] = view_features[2:]
+        return features
 
     # -- action validity -----------------------------------------------------------------
     @property

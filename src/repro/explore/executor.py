@@ -36,6 +36,9 @@ class QueryExecutor:
     When constructed with an :class:`~repro.explore.cache.ExecutionCache`,
     successful results are memoised by ``(view fingerprint, operation
     signature)`` and repeated executions return the cached immutable view.
+    Runtime failures are memoised too (negative caching): an operation that
+    passed the static check but raised :class:`ExecutionError` re-raises
+    from the cache on repeats instead of re-executing from scratch.
     """
 
     def __init__(self, cache: ExecutionCache | None = None):
@@ -52,10 +55,18 @@ class QueryExecutor:
         else:
             raise ExecutionError(f"cannot execute operation of kind {operation.kind!r}")
         if self.cache is not None:
+            failure = self.cache.get_error(view, operation)
+            if failure is not None:
+                raise ExecutionError(failure)
             cached = self.cache.get(view, operation)
             if cached is not None:
                 return cached
-        result = run(view, operation)
+        try:
+            result = run(view, operation)
+        except ExecutionError as exc:
+            if self.cache is not None:
+                self.cache.put_error(view, operation, str(exc))
+            raise
         if self.cache is not None:
             self.cache.put(view, operation, result)
         return result

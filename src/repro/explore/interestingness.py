@@ -11,13 +11,18 @@ reward scores each query by an interestingness measure:
   result sets whose aggregate values are informative (neither a single group
   nor an explosion of near-unique groups) score high.
 
-All scores are normalised to ``[0, 1]``.
+All scores are normalised to ``[0, 1]``.  Numeric histograms and entropies
+are computed on the columns' numpy buffers (``np.bincount`` / vectorised
+logs); categorical distributions reuse the columns' memoised
+``value_counts``.
 """
 
 from __future__ import annotations
 
 import math
 from typing import Mapping
+
+import numpy as np
 
 from repro.dataframe.column import Column
 from repro.dataframe.table import DataTable
@@ -29,14 +34,25 @@ _SMOOTHING = 1e-9
 _NUMERIC_BINS = 10
 
 
-def _numeric_histogram(column: Column, lo: float, hi: float) -> dict[int, int]:
-    counts: dict[int, int] = {}
+def _numeric_values(column: Column) -> np.ndarray:
+    """The column's non-null values as a float64 array (object-backed safe)."""
+    data, mask = column.buffers()
+    if data.dtype == object:
+        return np.asarray(
+            [float(v) for v in column.values if v is not None], dtype=np.float64
+        )
+    return data[~mask].astype(np.float64)
+
+
+def _numeric_histogram(column: Column, lo: float, hi: float) -> np.ndarray:
+    """Equi-width bin counts of the column's non-null values (length ``_NUMERIC_BINS``)."""
+    values = _numeric_values(column)
+    if values.size == 0:
+        return np.zeros(_NUMERIC_BINS, dtype=np.int64)
     width = (hi - lo) or 1.0
-    for value in column.non_null():
-        bucket = int((float(value) - lo) / width * _NUMERIC_BINS)
-        bucket = min(max(bucket, 0), _NUMERIC_BINS - 1)
-        counts[bucket] = counts.get(bucket, 0) + 1
-    return counts
+    buckets = ((values - lo) / width * _NUMERIC_BINS).astype(np.int64)
+    np.clip(buckets, 0, _NUMERIC_BINS - 1, out=buckets)
+    return np.bincount(buckets, minlength=_NUMERIC_BINS)
 
 
 def _categorical_histogram(column: Column) -> dict[object, int]:
@@ -48,16 +64,23 @@ def _normalise(counts: Mapping[object, int], support: list[object]) -> list[floa
     return [(counts.get(key, 0) + _SMOOTHING) / total for key in support]
 
 
-def kl_divergence(p: list[float], q: list[float]) -> float:
+def _normalise_array(counts: np.ndarray) -> np.ndarray:
+    total = counts.sum() + _SMOOTHING * len(counts)
+    return (counts + _SMOOTHING) / total
+
+
+def kl_divergence(p, q) -> float:
     """``KL(p || q)`` in nats for two discrete distributions over the same support."""
-    if len(p) != len(q):
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
         raise ValueError("distributions must share the same support")
-    total = 0.0
-    for pi, qi in zip(p, q):
-        if pi <= 0:
-            continue
-        total += pi * math.log(pi / max(qi, _SMOOTHING))
-    return total
+    positive = p > 0
+    if not positive.any():
+        return 0.0
+    ps = p[positive]
+    qs = np.maximum(q[positive], _SMOOTHING)
+    return float(np.sum(ps * np.log(ps / qs)))
 
 
 def column_kl(before: Column, after: Column) -> float:
@@ -67,15 +90,14 @@ def column_kl(before: Column, after: Column) -> float:
     if before.is_numeric:
         lo = float(before.min()) if before.min() is not None else 0.0
         hi = float(before.max()) if before.max() is not None else 1.0
-        support = list(range(_NUMERIC_BINS))
-        counts_before = _numeric_histogram(before, lo, hi)
-        counts_after = _numeric_histogram(after, lo, hi)
-    else:
-        counts_before = _categorical_histogram(before)
-        counts_after = _categorical_histogram(after)
-        support = list(counts_before)
-        if not support:
-            return 0.0
+        p = _normalise_array(_numeric_histogram(after, lo, hi))
+        q = _normalise_array(_numeric_histogram(before, lo, hi))
+        return kl_divergence(p, q)
+    counts_before = _categorical_histogram(before)
+    counts_after = _categorical_histogram(after)
+    support = list(counts_before)
+    if not support:
+        return 0.0
     p = _normalise(counts_after, support)
     q = _normalise(counts_before, support)
     return kl_divergence(p, q)
@@ -120,13 +142,14 @@ def conciseness(result: DataTable) -> float:
     agg_column = result.column(result.columns[-1])
     if not agg_column.is_numeric:
         return 0.5 * size_score
-    values = [float(v) for v in agg_column.non_null() if float(v) >= 0]
-    total = sum(values)
-    if total <= 0 or len(values) <= 1:
+    values = _numeric_values(agg_column)
+    values = values[values >= 0]
+    total = float(values.sum())
+    if total <= 0 or values.size <= 1:
         return 0.3 * size_score
-    shares = [v / total for v in values if v > 0]
-    entropy = -sum(s * math.log(s) for s in shares)
-    max_entropy = math.log(len(values))
+    shares = values[values > 0] / total
+    entropy = float(-np.sum(shares * np.log(shares)))
+    max_entropy = math.log(values.size)
     balance = entropy / max_entropy if max_entropy > 0 else 0.0
     # Neither perfectly uniform (balance 1.0, nothing stands out) nor fully
     # concentrated (balance 0.0, a single dominant group) is ideal.

@@ -471,7 +471,7 @@ class TestPredicateMaskFastPath:
         column = Column("x", ["10", "25", "", "apple", "Apricot", "30.5", None])
         for term in ("2", 25, "ap", "10", "e"):
             predicate = Predicate("x", op, term)
-            assert predicate.mask(column) == [
+            assert list(predicate.mask(column)) == [
                 predicate.evaluate(value) for value in column
             ]
 
@@ -480,13 +480,13 @@ class TestPredicateMaskFastPath:
         column = Column("x", [1, 5, None, 30, -2])
         for term in (5, "5", "abc", 2.5):
             predicate = Predicate("x", op, term)
-            assert predicate.mask(column) == [
+            assert list(predicate.mask(column)) == [
                 predicate.evaluate(value) for value in column
             ]
 
     def test_nulls_never_match(self):
         column = Column("x", [None, None])
-        assert Predicate("x", "neq", "z").mask(column) == [False, False]
+        assert list(Predicate("x", "neq", "z").mask(column)) == [False, False]
 
     @given(
         st.lists(
@@ -505,7 +505,7 @@ class TestPredicateMaskFastPath:
         """The columnar fast path is exactly evaluate() applied per cell."""
         column = Column("x", values)
         predicate = Predicate("x", op, term)
-        assert predicate.mask(column) == [
+        assert list(predicate.mask(column)) == [
             predicate.evaluate(value) for value in column
         ]
 
@@ -519,6 +519,6 @@ class TestPredicateMaskFastPath:
         column._values = (3, "b", 1, None, "3.0", 2.5)
         for term in (3.0, "3", "b", 2):
             predicate = Predicate("m", op, term)
-            assert predicate.mask(column) == [
+            assert list(predicate.mask(column)) == [
                 predicate.evaluate(value) for value in column
             ]
