@@ -11,12 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.cdrl.agent import _resolve_num_envs
 from repro.cdrl.spec_network import build_basic_policy
 from repro.dataframe.table import DataTable
 from repro.explore.action_space import ActionSpace
 from repro.explore.cache import ExecutionCache
 from repro.explore.environment import ExplorationEnvironment, GenericRewardStrategy
 from repro.explore.reward import GenericExplorationReward
+from repro.explore.rollouts import VectorEnvironment
 from repro.explore.session import ExplorationSession
 from repro.rl.trainer import PolicyGradientTrainer, TrainerConfig, TrainingHistory
 
@@ -29,6 +31,9 @@ class AtenaConfig:
     episodes: int = 300
     hidden_sizes: tuple[int, ...] = (64, 64)
     seed: int = 0
+    #: Environments rolled out in lock-step per training wave (> 1 batches
+    #: the policy forward over one shared execution cache).
+    num_envs: int = 1
     trainer: TrainerConfig = field(default_factory=TrainerConfig)
 
 
@@ -53,13 +58,33 @@ class AtenaAgent:
         self.dataset = dataset
         self.config = config or AtenaConfig()
         self.action_space = ActionSpace(dataset)
+        # The generic reward strategy is stateless (its interestingness memo
+        # is content-keyed), so one instance serves every sibling
+        # environment of a batched rollout wave.
+        reward_strategy = GenericRewardStrategy()
         self.environment = ExplorationEnvironment(
             dataset=dataset,
             episode_length=self.config.episode_length,
-            reward_strategy=GenericRewardStrategy(),
+            reward_strategy=reward_strategy,
             action_space=self.action_space,
             cache=cache,
         )
+        self.vector_environment = None
+        self.num_envs = _resolve_num_envs(
+            self.config.num_envs, self.config.trainer.num_envs
+        )
+        if self.num_envs > 1:
+            siblings = [self.environment] + [
+                ExplorationEnvironment(
+                    dataset=dataset,
+                    episode_length=self.config.episode_length,
+                    reward_strategy=reward_strategy,
+                    action_space=self.action_space,
+                    cache=self.environment.cache,
+                )
+                for _ in range(self.num_envs - 1)
+            ]
+            self.vector_environment = VectorEnvironment(siblings)
         self.policy = build_basic_policy(
             observation_size=self.environment.observation_size(),
             action_space=self.action_space,
@@ -67,10 +92,20 @@ class AtenaAgent:
             seed=self.config.seed,
         )
         trainer_config = TrainerConfig(
-            episodes=self.config.episodes, seed=self.config.seed
+            episodes=self.config.episodes,
+            seed=self.config.seed,
+            learning_rate=self.config.trainer.learning_rate,
+            entropy_coefficient=self.config.trainer.entropy_coefficient,
+            batch_episodes=self.config.trainer.batch_episodes,
+            discount=self.config.trainer.discount,
+            greedy_eval_every=self.config.trainer.greedy_eval_every,
+            num_envs=self.num_envs,
         )
         self.trainer = PolicyGradientTrainer(
-            environment=self.environment, policy=self.policy, config=trainer_config
+            environment=self.environment,
+            policy=self.policy,
+            config=trainer_config,
+            vector_environment=self.vector_environment,
         )
         self._scorer = GenericExplorationReward()
 

@@ -16,6 +16,7 @@ from repro.explore.action_space import ActionSpace
 from repro.explore.cache import ExecutionCache
 from repro.explore.environment import ExplorationEnvironment
 from repro.explore.reward import GenericExplorationReward
+from repro.explore.rollouts import VectorEnvironment
 from repro.explore.session import ExplorationSession
 from repro.ldx.ast import LdxQuery
 from repro.ldx.parser import parse_ldx
@@ -48,6 +49,15 @@ class CdrlConfig:
     mask_invalid_actions: bool = True
     #: Memoise query execution across episodes via a shared ExecutionCache.
     cache_execution: bool = True
+    #: Environments rolled out in lock-step per training wave.  Values > 1
+    #: batch the policy forward and share one execution cache across the
+    #: wave, with per-episode RNG streams derived from
+    #: ``(seed, episode_index)``.  Training is deterministic for a given
+    #: ``(seed, num_envs)`` pair, but changing ``num_envs`` changes how
+    #: sampling interleaves with gradient updates, so results differ from
+    #: the single-environment run (which samples from the policy's own
+    #: stream, as before this knob existed).
+    num_envs: int = 1
     trainer: TrainerConfig = field(default_factory=TrainerConfig)
     compliance: ComplianceRewardConfig = field(default_factory=ComplianceRewardConfig)
 
@@ -71,6 +81,20 @@ class CdrlResult:
             "episodes_trained": self.episodes_trained,
             "queries": self.session.num_queries(),
         }
+
+
+def _resolve_num_envs(agent_level: int, trainer_level: int) -> int:
+    """Reconcile the agent-level and nested trainer-level ``num_envs`` knobs.
+
+    Setting either works; setting both to different batched values is
+    rejected rather than silently preferring one.
+    """
+    if agent_level > 1 and trainer_level > 1 and agent_level != trainer_level:
+        raise ValueError(
+            f"conflicting num_envs settings: config.num_envs={agent_level} vs "
+            f"config.trainer.num_envs={trainer_level}; set just one"
+        )
+    return max(agent_level, trainer_level)
 
 
 class LinxCdrlAgent:
@@ -122,6 +146,37 @@ class LinxCdrlAgent:
             cache=self.cache,
             enable_cache=self.cache is not None,
         )
+        # Batched rollouts: siblings of the primary environment sharing its
+        # action space, execution cache and (via VectorEnvironment) feature
+        # memo.  The compliance strategy keeps a per-episode step counter,
+        # so each environment gets its own instance; the pure look-ahead
+        # feasibility memo is shared across them.
+        self.vector_environment: Optional[VectorEnvironment] = None
+        self.num_envs = _resolve_num_envs(
+            self.config.num_envs, self.config.trainer.num_envs
+        )
+        if self.num_envs > 1:
+            siblings = [self.environment]
+            for _ in range(self.num_envs - 1):
+                strategy = ComplianceRewardStrategy(
+                    query=self.query,
+                    episode_length=episode_length,
+                    config=self.config.compliance,
+                    graded_eos=self.config.graded_eos_reward,
+                    use_immediate=self.config.immediate_reward,
+                )
+                strategy._lookahead_cache = self.reward_strategy._lookahead_cache
+                siblings.append(
+                    ExplorationEnvironment(
+                        dataset=dataset,
+                        episode_length=episode_length,
+                        reward_strategy=strategy,
+                        action_space=self.action_space,
+                        cache=self.cache,
+                        enable_cache=self.cache is not None,
+                    )
+                )
+            self.vector_environment = VectorEnvironment(siblings)
         observation_size = self.environment.observation_size()
         if self.config.specification_aware_network:
             self.policy = SpecificationAwarePolicy(
@@ -155,12 +210,14 @@ class LinxCdrlAgent:
             batch_episodes=self.config.trainer.batch_episodes,
             discount=self.config.trainer.discount,
             greedy_eval_every=self.config.trainer.greedy_eval_every,
+            num_envs=self.num_envs,
         )
         self.trainer = PolicyGradientTrainer(
             environment=self.environment,
             policy=self.policy,
             config=trainer_config,
             decision_to_choice=decision_to_choice,
+            vector_environment=self.vector_environment,
         )
         self._generic_reward = GenericExplorationReward()
         self._best_compliant: Optional[tuple[ExplorationSession, float]] = None

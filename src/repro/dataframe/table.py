@@ -49,6 +49,35 @@ from .errors import (
 from .expressions import Predicate
 
 
+#: Distinct-count threshold above which string group keys factorise via
+#: vectorised 64-bit hashes instead of binary-searching the (wide) unicode
+#: buffer.  Below it the searchsorted path wins (tiny constant factors).
+HASH_FACTORIZE_MIN_DISTINCT = 64
+
+#: Multiplier seeding the per-character-position hash weights (the 64-bit
+#: golden ratio, as in splitmix64); weights are forced odd so every
+#: character position contributes an invertible term.
+_HASH_WEIGHT_SEED = 0x9E3779B97F4A7C15
+
+
+def _hash_weights(width: int) -> np.ndarray:
+    """Independent odd 64-bit weights, one per character position.
+
+    Each position's weight runs through the splitmix64 finaliser: linearly
+    related weights (e.g. ``(p+1) * seed``) make the key hash a small-integer
+    combination of character codes, which collides catastrophically on
+    digit-pattern keys; the avalanche mixing decorrelates positions so
+    distinct keys collide with ~2^-64 pair probability.
+    """
+    x = np.arange(1, width + 1, dtype=np.uint64) * np.uint64(_HASH_WEIGHT_SEED)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x | np.uint64(1)
+
+
 class DataTable:
     """An immutable columnar table.
 
@@ -350,6 +379,21 @@ class DataTable:
                             self._group_rows[group_column] = cached
                             return cached
                     key_side, row_side = uniq, data[valid]
+                    if (
+                        data.dtype.kind == "U"
+                        and len(order) >= HASH_FACTORIZE_MIN_DISTINCT
+                    ):
+                        # High-cardinality string keys: comparison-based
+                        # factorisation pays O(log k) *wide-string* compares
+                        # per row.  Hash every key to one uint64 in a single
+                        # vectorised pass instead; rows then factorise with
+                        # machine-word lookups (no string is ever compared).
+                        hashed = self._hash_factorize(uniq, row_side)
+                        if hashed is not None:
+                            codes[valid] = hashed
+                            cached = (order, codes, len(order))
+                            self._group_rows[group_column] = cached
+                            return cached
                     if data.dtype.kind == "U" and data.dtype.itemsize in (4, 8):
                         # Short strings binary-search ~2x faster when their
                         # UCS4 bytes are reinterpreted as one machine word
@@ -363,6 +407,44 @@ class DataTable:
             cached = (order, codes, len(order))
             self._group_rows[group_column] = cached
         return cached
+
+    @staticmethod
+    def _hash_factorize(uniq: np.ndarray, rows: np.ndarray) -> "np.ndarray | None":
+        """Hash-based factorisation of unicode keys (no string comparisons).
+
+        Every key — the k distinct values in *uniq* and the n row values in
+        *rows* — is reduced to one uint64 by a weighted sum of its UCS4 code
+        units (position-dependent odd weights, natural 2^64 wraparound).
+        Row hashes are then resolved against the k distinct hashes with
+        integer lookups.  Correctness needs only the k *distinct* hashes to
+        be pairwise distinct (row values are drawn from them); if that check
+        fails — vanishingly unlikely, ~k²/2^64 — the caller falls back to
+        the comparison-based path.  Returns the codes of *rows* into
+        *uniq*'s positions, or ``None`` on hash collision.
+        """
+        width = uniq.dtype.itemsize // 4
+        if width == 0:
+            return None
+        weights = _hash_weights(width)
+
+        def hash_keys(values: np.ndarray) -> np.ndarray:
+            units = (
+                np.ascontiguousarray(values)
+                .view(np.uint32)
+                .reshape(len(values), width)
+                .astype(np.uint64)
+            )
+            # einsum contracts without materialising the (n, width) product
+            # matrix; uint64 arithmetic wraps, which is the hash's modulus.
+            return np.einsum("nw,w->n", units, weights)
+
+        uniq_hashes = hash_keys(uniq)
+        sorted_hashes = np.sort(uniq_hashes)
+        if sorted_hashes.size > 1 and (sorted_hashes[1:] == sorted_hashes[:-1]).any():
+            return None
+        by_value = np.argsort(uniq_hashes, kind="stable").astype(np.int64)
+        positions = np.searchsorted(sorted_hashes, hash_keys(rows))
+        return by_value[positions]
 
     def groupby_agg(
         self,

@@ -14,17 +14,23 @@ this class), the engine
 * never rebuilds the benchmark or few-shot bank per request,
 * shares one execution cache across all requests, so a batch of related
   requests reuses each other's query results,
-* fans batches out over a thread pool (:meth:`explore_many`) with ordered
-  per-request progress events, and
+* optionally layers that cache over a persistent sqlite tier
+  (``disk_cache_path``), so results survive restarts and cross process
+  boundaries,
+* fans batches out over a thread pool — or, opt-in, a **process pool**
+  (``explore_many(..., workers="process")``) whose workers rebuild the
+  engine and share the disk tier, turning GIL-bound interleaving into real
+  multi-core throughput — with ordered per-request progress events, and
 * returns results that round-trip through JSON for serving and storage.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Optional, Sequence, TypeVar
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.bench.generator import generate_benchmark
 from repro.cdrl.agent import CdrlConfig
@@ -34,6 +40,10 @@ from repro.explore.cache import (
     DEFAULT_MAX_ENTRIES,
     ExecutionCache,
     ThreadSafeExecutionCache,
+)
+from repro.explore.diskcache import (
+    ThreadSafeTieredExecutionCache,
+    TieredExecutionCache,
 )
 from repro.explore.session import ExplorationSession
 from repro.ldx.parser import parse_ldx, try_parse_ldx
@@ -110,6 +120,12 @@ class LinxEngine:
         *max_cache_entries* entries and *max_cached_rows* total cached rows
         (default :data:`DEFAULT_ENGINE_MAX_CACHED_ROWS`; pass ``None`` to
         disable the row budget).
+    disk_cache_path:
+        Optional sqlite file layered *under* the default cache as a
+        persistent tier (:class:`~repro.explore.diskcache.TieredExecutionCache`):
+        results survive restarts, and warm-start sweeps or process-pool
+        workers reuse each other's executions.  Ignored when an explicit
+        *cache* is supplied.
 
     Example
     -------
@@ -133,16 +149,38 @@ class LinxEngine:
         cache: ExecutionCache | None = None,
         max_cache_entries: int = DEFAULT_MAX_ENTRIES,
         max_cached_rows: int | None = DEFAULT_ENGINE_MAX_CACHED_ROWS,
+        disk_cache_path: str | os.PathLike | None = None,
     ):
         self.llm_client = llm_client or gpt4_client()
         self.cdrl_config = cdrl_config or CdrlConfig(episodes=150)
-        self.cache = (
-            cache
-            if cache is not None
-            else ThreadSafeExecutionCache(
+        self.disk_cache_path = (
+            str(disk_cache_path) if disk_cache_path is not None else None
+        )
+        if cache is not None:
+            self.cache = cache
+        elif self.disk_cache_path is not None:
+            self.cache = ThreadSafeTieredExecutionCache(
+                self.disk_cache_path,
+                max_entries=max_cache_entries,
+                max_cached_rows=max_cached_rows,
+            )
+        else:
+            self.cache = ThreadSafeExecutionCache(
                 max_entries=max_cache_entries, max_cached_rows=max_cached_rows
             )
-        )
+        self._max_cache_entries = max_cache_entries
+        self._max_cached_rows = max_cached_rows
+        # Process-pool workers rebuild the engine from a picklable spec, so
+        # they can only reproduce declaratively-configured engines.
+        self._custom_stages = any(
+            stage is not None
+            for stage in (
+                spec_deriver,
+                session_generator,
+                notebook_renderer,
+                insight_extractor,
+            )
+        ) or cache is not None or llm_client is not None
         self._bank_lock = threading.Lock()
         self._bank: Optional[FewShotBank] = None
         self.spec_deriver: SpecDeriver = spec_deriver or ChainedSpecDeriver(
@@ -336,6 +374,10 @@ class LinxEngine:
             query=query,
             insights=list(insights) if insights is not None else [],
         )
+        if isinstance(self.cache, TieredExecutionCache):
+            # Land this request's write-behind buffer so concurrent
+            # processes (and the next engine start) see its results.
+            self.cache.flush()
         emit(ProgressEvent(request_id, EVENT_REQUEST_FINISHED))
         return result
 
@@ -345,17 +387,34 @@ class LinxEngine:
         *,
         max_workers: int | None = None,
         observer: ProgressObserver | None = None,
+        workers: str = "thread",
     ) -> list[ExploreResult]:
-        """Process a batch of requests, fanned out over a thread pool.
+        """Process a batch of requests, fanned out over a worker pool.
 
-        Results are returned in request order.  Every request shares the
-        engine's execution cache, so overlapping requests reuse each other's
-        query results.  With ``max_workers=1`` the batch runs sequentially
-        (events of different requests never interleave); otherwise observer
-        callbacks may arrive concurrently from worker threads (per-request
-        ordering is still guaranteed).  The first failing request propagates
-        its exception after in-flight work completes.
+        Results are returned in request order.  The default ``workers=
+        "thread"`` pool shares the engine's execution cache in memory, so
+        overlapping requests reuse each other's query results; with
+        ``max_workers=1`` the batch runs sequentially (events of different
+        requests never interleave), otherwise observer callbacks may arrive
+        concurrently from worker threads (per-request ordering is still
+        guaranteed).  The first failing request propagates its exception
+        after in-flight work completes.
+
+        ``workers="process"`` is the multi-core opt-in: requests are
+        serialized to a :class:`ProcessPoolExecutor` whose workers rebuild
+        the engine from this one's declarative configuration.  CDRL training
+        is pure Python/numpy and GIL-bound, so threads mostly interleave —
+        processes actually scale.  Caveats: only declaratively-configured
+        engines qualify (default stages/LLM/cache; a ``disk_cache_path``
+        lets the workers share executed results through the persistent
+        tier), per-request events are emitted from the parent only at
+        request granularity, and results come back as lossless JSON
+        round-trips — live ``artifacts`` (session/notebook objects) are not
+        attached.  Request seeds behave exactly as in thread mode, so a
+        batch's results are identical run-to-run and mode-to-mode.
         """
+        if workers not in ("thread", "process"):
+            raise ValueError(f"workers must be 'thread' or 'process', got {workers!r}")
         batch: Sequence[ExploreRequest] = list(requests)
         if not batch:
             return []
@@ -363,18 +422,74 @@ class LinxEngine:
             request.request_id or f"request-{index}"
             for index, request in enumerate(batch)
         ]
-        workers = max_workers if max_workers is not None else min(4, len(batch))
-        if workers <= 1 or len(batch) == 1:
+        if workers == "process":
+            return self._explore_many_processes(batch, labels, max_workers, observer)
+        pool_size = max_workers if max_workers is not None else min(4, len(batch))
+        if pool_size <= 1 or len(batch) == 1:
             return [
                 self.explore(request, observer=observer, _label=label)
                 for request, label in zip(batch, labels)
             ]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
             futures = [
                 pool.submit(self.explore, request, observer=observer, _label=label)
                 for request, label in zip(batch, labels)
             ]
             return [future.result() for future in futures]
+
+    def _explore_many_processes(
+        self,
+        batch: Sequence[ExploreRequest],
+        labels: Sequence[str],
+        max_workers: int | None,
+        observer: ProgressObserver | None,
+    ) -> list[ExploreResult]:
+        """Fan the batch out over processes that rebuild this engine's config."""
+        if self._custom_stages:
+            raise ValueError(
+                "workers='process' requires a declaratively-configured engine "
+                "(default stages, LLM client and cache); custom in-memory "
+                "components cannot be rebuilt in worker processes"
+            )
+        spec = {
+            "cdrl_config": self.cdrl_config,
+            "disk_cache_path": self.disk_cache_path,
+            "max_cache_entries": self._max_cache_entries,
+            "max_cached_rows": self._max_cached_rows,
+        }
+        # Validate everything before any work is dispatched, so an invalid
+        # request cannot strand already-submitted siblings mid-flight.
+        for request in batch:
+            request.validate()
+        if isinstance(self.cache, TieredExecutionCache):
+            # Everything executed so far becomes visible to the workers.
+            self.cache.flush()
+        emit: ProgressObserver = observer or (lambda event: None)
+        pool_size = max_workers if max_workers is not None else min(
+            len(batch), os.cpu_count() or 1
+        )
+
+        def finished_event(label: str):
+            # Emitted from a done-callback so every *completed* request gets
+            # its finished event even when a sibling request fails first
+            # (matching thread mode, where workers emit their own events).
+            def notify(future) -> None:
+                if future.cancelled() or future.exception() is not None:
+                    return
+                emit(ProgressEvent(label, EVENT_REQUEST_FINISHED))
+
+            return notify
+
+        with ProcessPoolExecutor(max_workers=max(1, pool_size)) as pool:
+            futures = []
+            for request, label in zip(batch, labels):
+                emit(ProgressEvent(label, EVENT_REQUEST_STARTED))
+                future = pool.submit(_process_worker, request.to_dict(), spec)
+                future.add_done_callback(finished_event(label))
+                futures.append(future)
+            return [
+                ExploreResult.from_dict(future.result()) for future in futures
+            ]
 
     # -- internals -------------------------------------------------------------------
     def _run_stage(
@@ -436,3 +551,32 @@ class LinxEngine:
             "entries": len(self.cache),
             "cached_rows": self.cache.cached_rows,
         }
+
+
+# -- process-pool worker ----------------------------------------------------------------
+#: The engine a worker process lazily builds and then reuses across tasks,
+#: keyed by the spec that built it (one warm engine per worker).
+_worker_engine: Optional[LinxEngine] = None
+_worker_spec: Optional[dict[str, Any]] = None
+
+
+def _process_worker(request_payload: dict[str, Any], spec: dict[str, Any]) -> dict[str, Any]:
+    """Process one serialized request in a pool worker; returns the result dict.
+
+    The worker materialises a :class:`LinxEngine` from the parent's
+    declarative *spec* on first use (or when the spec changes) and keeps it
+    warm: the few-shot bank, the in-memory cache tier and — when a
+    ``disk_cache_path`` is configured — the shared persistent tier all
+    survive across the worker's tasks.
+    """
+    global _worker_engine, _worker_spec
+    if _worker_engine is None or spec != _worker_spec:
+        _worker_engine = LinxEngine(
+            cdrl_config=spec["cdrl_config"],
+            max_cache_entries=spec["max_cache_entries"],
+            max_cached_rows=spec["max_cached_rows"],
+            disk_cache_path=spec["disk_cache_path"],
+        )
+        _worker_spec = spec
+    result = _worker_engine.explore(ExploreRequest.from_dict(request_payload))
+    return result.to_dict()

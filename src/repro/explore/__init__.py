@@ -7,9 +7,16 @@ from .action_space import (
     HEAD_ORDER,
     ActionChoice,
     ActionSpace,
+    choice_from_index_map,
     choice_from_indices,
 )
 from .cache import CacheStats, ExecutionCache, ThreadSafeExecutionCache
+from .diskcache import (
+    DISK_SCHEMA_VERSION,
+    DiskCacheTier,
+    ThreadSafeTieredExecutionCache,
+    TieredExecutionCache,
+)
 from .diversity import operation_distance, result_distance, session_diversity
 from .environment import (
     ExplorationEnvironment,
@@ -35,6 +42,14 @@ from .operations import (
     operation_from_signature,
 )
 from .reward import GenericExplorationReward, GenericRewardConfig
+from .rollouts import (
+    RolloutBatch,
+    VectorEnvironment,
+    VectorStepResult,
+    collect_rollouts,
+    collect_sequential_rollouts,
+    env_rng,
+)
 from .session import ExplorationSession, SessionNode, session_from_operations
 
 __all__ = [
@@ -45,6 +60,8 @@ __all__ = [
     "ActionSpace",
     "BackOperation",
     "CacheStats",
+    "DISK_SCHEMA_VERSION",
+    "DiskCacheTier",
     "ExecutionCache",
     "ExecutionError",
     "ExplorationEnvironment",
@@ -58,12 +75,21 @@ __all__ = [
     "Operation",
     "QueryExecutor",
     "RewardStrategy",
+    "RolloutBatch",
     "RootOperation",
     "SessionNode",
     "StepResult",
     "ThreadSafeExecutionCache",
+    "ThreadSafeTieredExecutionCache",
+    "TieredExecutionCache",
+    "VectorEnvironment",
+    "VectorStepResult",
+    "choice_from_index_map",
     "choice_from_indices",
+    "collect_rollouts",
+    "collect_sequential_rollouts",
     "conciseness",
+    "env_rng",
     "filter_interestingness",
     "group_interestingness",
     "is_query_operation",

@@ -17,8 +17,9 @@ The factored action is a tuple of head indices, decoded by
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -74,6 +75,11 @@ class ActionSpace:
         self.terms: dict[str, list[Any]] = {
             attr: self._derive_terms(dataset, attr) for attr in self.attributes
         }
+        # Validity masks keyed by view fingerprint: views are immutable and
+        # content-addressed (shared through the execution cache), so every
+        # environment, episode and lock-step rollout wave that reaches the
+        # same view reuses one schema scan.
+        self._mask_memo: "OrderedDict[tuple, dict[str, np.ndarray]]" = OrderedDict()
 
     # -- vocabulary derivation ----------------------------------------------------------
     @staticmethod
@@ -130,6 +136,9 @@ class ActionSpace:
         )
         return 1 + filter_count + group_count
 
+    #: Bound on the fingerprint-keyed validity-mask memo.
+    MASK_MEMO_MAX = 4096
+
     # -- validity masking ----------------------------------------------------------------
     def valid_mask(self, view: DataTable) -> dict[str, np.ndarray]:
         """Batched, schema-only validity masks for every softmax head.
@@ -139,7 +148,9 @@ class ActionSpace:
         that can decode into an executable operation.  The check mirrors
         :meth:`QueryExecutor.can_execute` — column presence plus dtype
         constraints — and never executes a query, so environments and
-        policies can mask invalid actions on every step for free.
+        policies can mask invalid actions on every step for free.  Results
+        are memoised by the view's content fingerprint (callers must treat
+        the returned arrays as read-only).
 
         Per-head masks are exact for this action space: filter operators and
         terms are always applicable once the attribute is present, and
@@ -148,6 +159,19 @@ class ActionSpace:
         ``agg_attr = group_attr``, so it is valid whenever any group
         attribute is.
         """
+        key = view.fingerprint()
+        memo = self._mask_memo
+        cached = memo.get(key)
+        if cached is not None:
+            memo.move_to_end(key)
+            return cached
+        masks = self._compute_valid_mask(view)
+        memo[key] = masks
+        while len(memo) > self.MASK_MEMO_MAX:
+            memo.popitem(last=False)
+        return masks
+
+    def _compute_valid_mask(self, view: DataTable) -> dict[str, np.ndarray]:
         filter_attr = np.array([attr in view for attr in self.attributes], dtype=bool)
         group_attr = np.array(
             [attr in view for attr in self.group_attributes], dtype=bool
@@ -267,3 +291,14 @@ def choice_from_indices(indices: Sequence[int]) -> ActionChoice:
     """Build an :class:`ActionChoice` from head indices in :data:`HEAD_ORDER`."""
     values = dict(zip(HEAD_ORDER, indices))
     return ActionChoice(**values)
+
+
+def choice_from_index_map(indices: Mapping[str, int]) -> ActionChoice:
+    """Build an :class:`ActionChoice` from a per-head index mapping.
+
+    Heads absent from *indices* default to 0.  This is the canonical
+    decision-to-choice decoder shared by the trainer and the batched
+    rollout collector (policies with extra heads supply their own, e.g.
+    :meth:`SpecificationAwarePolicy.indices_to_choice`).
+    """
+    return ActionChoice(**{name: indices.get(name, 0) for name in HEAD_ORDER})

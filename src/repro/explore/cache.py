@@ -36,6 +36,10 @@ result views, and the optional ``max_cached_rows`` caps the approximate
 *volume* (total rows across all cached views), so thousands of near-full
 filtered copies of a large dataset cannot accumulate before count-based
 eviction kicks in.
+
+For persistence across processes and restarts see
+:mod:`repro.explore.diskcache`, which layers this memory LRU over a
+schema-versioned sqlite tier (read-through, batched write-behind).
 """
 
 from __future__ import annotations
@@ -154,7 +158,15 @@ class ExecutionCache:
 
     def put(self, view: DataTable, operation: Operation, result: DataTable) -> None:
         """Store the result of executing *operation* on *view*."""
-        key = self.key_for(view, operation)
+        self._store(self.key_for(view, operation), result)
+
+    def _store(self, key: CacheKey, result: DataTable) -> None:
+        """Insert *result* under *key*, evicting per the entry/row budgets.
+
+        Split out of :meth:`put` so tier layers (the disk-backed cache)
+        can promote deserialized entries into the memory LRU without
+        re-deriving the key or re-queuing a write-behind.
+        """
         rows = len(result)
         if key in self._row_counts:
             self._cached_rows -= self._row_counts[key]
@@ -241,28 +253,19 @@ class ExecutionCache:
         )
 
 
-class ThreadSafeExecutionCache(ExecutionCache):
-    """An :class:`ExecutionCache` whose operations are guarded by a lock.
+class LockGuardedCacheOps:
+    """Mixin wrapping the shared cache operations in ``self._lock``.
 
-    Used when one cache is shared across a thread pool (e.g. by
-    :meth:`repro.engine.core.LinxEngine.explore_many`).  Every public
-    operation — lookup, insert, clear, length, telemetry — holds the same
-    reentrant lock, so the LRU order, row accounting and statistics stay
-    consistent under concurrent request execution.
+    List this mixin *before* a concrete cache class and create
+    ``self._lock`` (a reentrant lock) in ``__init__``; every wrapper's
+    ``super()`` call then reaches the unguarded implementation.  Keeping
+    the wrapper set in one place means a new mutating cache operation only
+    needs its lock-guard added here to cover every thread-safe variant
+    (:class:`ThreadSafeExecutionCache` and
+    :class:`repro.explore.diskcache.ThreadSafeTieredExecutionCache`).
     """
 
-    def __init__(
-        self,
-        max_entries: int = DEFAULT_MAX_ENTRIES,
-        max_cached_rows: int | None = None,
-        max_error_entries: int = DEFAULT_MAX_ERROR_ENTRIES,
-    ):
-        super().__init__(
-            max_entries=max_entries,
-            max_cached_rows=max_cached_rows,
-            max_error_entries=max_error_entries,
-        )
-        self._lock = threading.RLock()
+    _lock: threading.RLock
 
     def get(self, view: DataTable, operation: Operation) -> DataTable | None:
         with self._lock:
@@ -299,4 +302,28 @@ class ThreadSafeExecutionCache(ExecutionCache):
     def snapshot_counters(self) -> tuple[int, int, int]:
         """A consistent ``(hits, misses, evictions)`` snapshot."""
         with self._lock:
-            return (self.stats.hits, self.stats.misses, self.stats.evictions)
+            return super().snapshot_counters()
+
+
+class ThreadSafeExecutionCache(LockGuardedCacheOps, ExecutionCache):
+    """An :class:`ExecutionCache` whose operations are guarded by a lock.
+
+    Used when one cache is shared across a thread pool (e.g. by
+    :meth:`repro.engine.core.LinxEngine.explore_many`).  Every public
+    operation — lookup, insert, clear, length, telemetry — holds the same
+    reentrant lock, so the LRU order, row accounting and statistics stay
+    consistent under concurrent request execution.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_cached_rows: int | None = None,
+        max_error_entries: int = DEFAULT_MAX_ERROR_ENTRIES,
+    ):
+        super().__init__(
+            max_entries=max_entries,
+            max_cached_rows=max_cached_rows,
+            max_error_entries=max_error_entries,
+        )
+        self._lock = threading.RLock()

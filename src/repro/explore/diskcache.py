@@ -1,0 +1,477 @@
+"""A persistent, sqlite-backed tier under the in-memory execution cache.
+
+The in-memory :class:`~repro.explore.cache.ExecutionCache` dies with its
+process, so every benchmark sweep, every engine restart and every process-
+pool worker starts cold.  This module adds the durable tier:
+
+* :class:`DiskCacheTier` — a sqlite store of serialized result views keyed
+  by a canonical hash of the PR-3 buffer fingerprint + operation signature.
+  WAL journaling lets many processes read and write one cache file
+  concurrently; a schema-version row invalidates the whole store wholesale
+  when the payload or digest format changes (stale formats are *dropped*,
+  never misread).
+* :class:`TieredExecutionCache` — the drop-in ``ExecutionCache`` subclass
+  that layers the memory LRU over a disk tier: **read-through** (a memory
+  miss falls through to disk and promotes the row back into the LRU) and
+  **batched write-behind** (inserts buffer in memory and land on disk in
+  one transaction per :data:`DEFAULT_WRITE_BATCH` puts, or on
+  :meth:`~TieredExecutionCache.flush`).
+* :class:`ThreadSafeTieredExecutionCache` — the lock-guarded variant the
+  long-lived :class:`~repro.engine.core.LinxEngine` shares across worker
+  threads.
+
+Results are serialized structurally — per-column dtype string, raw data
+buffer and null-mask bytes — not as pickled object graphs, so a
+deserialized view reconstructs the exact buffers and therefore the exact
+fingerprint: a view read back from disk keys downstream cache lookups
+identically to the view that was stored, across processes.  Failure
+outcomes (negative cache) stay memory-only; an error message is cheap to
+recompute and not worth a durable row.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import sqlite3
+import struct
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.dataframe.column import Column
+from repro.dataframe.table import DataTable
+
+from .cache import (
+    DEFAULT_MAX_ENTRIES,
+    DEFAULT_MAX_ERROR_ENTRIES,
+    CacheKey,
+    ExecutionCache,
+    LockGuardedCacheOps,
+)
+from .operations import Operation
+
+#: Version of the on-disk layout (sqlite schema + payload encoding + cache
+#: key digest format).  Bump on any incompatible change: a mismatching
+#: store is dropped and recreated on open, so stale formats are ignored
+#: rather than misinterpreted.  The fingerprint digest format changed in
+#: the numpy-columnar rewrite (PR 3) — that is exactly the class of change
+#: this guards against.
+DISK_SCHEMA_VERSION = 1
+
+#: Default number of buffered inserts per write-behind flush.
+DEFAULT_WRITE_BATCH = 32
+
+
+# -- canonical key encoding ---------------------------------------------------------------
+
+def _feed(digest, value: Any) -> None:
+    """Recursively absorb *value* into *digest* with a type-tagged encoding.
+
+    Cache keys are nested tuples of primitives (the table fingerprint and
+    the operation signature).  ``pickle`` output is not canonical across
+    processes (its memoisation depends on object identity, e.g. string
+    interning), so keys are hashed through this fixed encoding instead.
+    """
+    if isinstance(value, (tuple, list)):
+        digest.update(b"T" + str(len(value)).encode() + b":")
+        for item in value:
+            _feed(digest, item)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        digest.update(b"S" + str(len(raw)).encode() + b":" + raw)
+    elif isinstance(value, bool):
+        digest.update(b"B1" if value else b"B0")
+    elif isinstance(value, int):
+        raw = str(value).encode()
+        digest.update(b"I" + str(len(raw)).encode() + b":" + raw)
+    elif isinstance(value, float):
+        digest.update(b"F" + struct.pack("<d", value))
+    elif isinstance(value, (bytes, bytearray)):
+        digest.update(b"Y" + str(len(value)).encode() + b":" + bytes(value))
+    elif value is None:
+        digest.update(b"N")
+    else:
+        raise TypeError(f"cannot canonically encode {type(value).__name__} in cache key")
+
+
+def encode_key(key: CacheKey) -> bytes:
+    """The canonical 160-bit digest a cache key is stored under."""
+    digest = hashlib.blake2b(digest_size=20)
+    _feed(digest, key)
+    return digest.digest()
+
+
+# -- structural table serialization -------------------------------------------------------
+
+def serialize_table(table: DataTable) -> bytes:
+    """Encode *table* column-by-column from its raw buffers.
+
+    Typed columns store ``(dtype string, numpy dtype str, data bytes, mask
+    bytes)``; object-backed columns (coercion-bypassing mixed/NUL columns)
+    store their Python value list.  The encoding reconstructs buffers — and
+    therefore fingerprints — exactly.
+    """
+    columns: list[tuple] = []
+    for name in table.columns:
+        column = table.column(name)
+        data, mask = column.buffers()
+        if data.dtype == object:
+            columns.append(("object", name, column.dtype, list(column.values)))
+        else:
+            columns.append(
+                (
+                    "typed",
+                    name,
+                    column.dtype,
+                    data.dtype.str,
+                    data.tobytes(),
+                    mask.tobytes(),
+                )
+            )
+    return pickle.dumps((table.name, len(table), columns), protocol=4)
+
+
+def deserialize_table(payload: bytes) -> DataTable:
+    """Rebuild a :func:`serialize_table` payload into a :class:`DataTable`."""
+    name, length, columns = pickle.loads(payload)
+    rebuilt: list[Column] = []
+    for entry in columns:
+        if entry[0] == "typed":
+            _, col_name, dtype, dtype_str, data_bytes, mask_bytes = entry
+            data = np.frombuffer(data_bytes, dtype=np.dtype(dtype_str))
+            mask = np.frombuffer(mask_bytes, dtype=bool)
+            rebuilt.append(Column._from_buffers(col_name, dtype, data, mask))
+        else:
+            _, col_name, dtype, values = entry
+            data = np.empty(len(values), dtype=object)
+            data[:] = list(values)
+            mask = np.fromiter(
+                (value is None for value in values), dtype=bool, count=len(values)
+            )
+            rebuilt.append(Column._from_buffers(col_name, dtype, data, mask))
+    table = DataTable(rebuilt, name=name)
+    if len(table) != length:
+        raise ValueError(
+            f"corrupt cache payload: expected {length} rows, rebuilt {len(table)}"
+        )
+    return table
+
+
+# -- the disk tier ------------------------------------------------------------------------
+
+class DiskCacheTier:
+    """Persistent sqlite store of serialized execution results.
+
+    One file serves many processes: WAL journaling allows concurrent
+    readers alongside a writer, and ``busy_timeout`` serialises competing
+    write transactions instead of failing them.  All public operations are
+    additionally guarded by an in-process lock so one tier instance can be
+    shared across threads.
+
+    Parameters
+    ----------
+    path:
+        The sqlite file (parent directories are created).  Conventionally
+        ``<dir>/execution_cache.sqlite``.
+    timeout:
+        Seconds a writer waits on a locked database before giving up.
+    """
+
+    def __init__(self, path: str | Path, timeout: float = 30.0):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            str(self.path), timeout=timeout, check_same_thread=False
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        #: Lookups served from disk / fallen through / rows written.
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.flushes = 0
+        #: True when a version mismatch dropped a pre-existing store.
+        self.invalidated = False
+        self._ensure_schema()
+
+    # -- schema -------------------------------------------------------------------
+    def _ensure_schema(self) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is not None and row[0] != str(DISK_SCHEMA_VERSION):
+                # A stale digest/payload format: drop everything, never
+                # attempt to reinterpret old rows.
+                self._conn.execute("DROP TABLE IF EXISTS entries")
+                self.invalidated = True
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                " key BLOB PRIMARY KEY,"
+                " payload BLOB NOT NULL,"
+                " rows INTEGER NOT NULL,"
+                " created_at REAL NOT NULL)"
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(DISK_SCHEMA_VERSION),),
+            )
+
+    # -- lookups ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[DataTable]:
+        """The stored result view under *key*, or ``None``."""
+        encoded = encode_key(key)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM entries WHERE key = ?", (encoded,)
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                return None
+        try:
+            table = deserialize_table(row[0])
+        except Exception:
+            # An unreadable payload behaves like a miss (and is removed so
+            # it cannot keep failing).
+            with self._lock, self._conn:
+                self._conn.execute("DELETE FROM entries WHERE key = ?", (encoded,))
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return table
+
+    def put_many(self, items: Iterable[tuple[CacheKey, DataTable]]) -> int:
+        """Insert (or replace) a batch of results in one transaction."""
+        now = time.time()
+        rows = [
+            (encode_key(key), serialize_table(table), len(table), now)
+            for key, table in items
+        ]
+        if not rows:
+            return 0
+        with self._lock, self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO entries (key, payload, rows, created_at)"
+                " VALUES (?, ?, ?, ?)",
+                rows,
+            )
+            self.writes += len(rows)
+            self.flushes += 1
+        return len(rows)
+
+    def put(self, key: CacheKey, table: DataTable) -> None:
+        self.put_many([(key, table)])
+
+    # -- maintenance ---------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return int(
+                self._conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+            )
+
+    def stored_rows(self) -> int:
+        """Total result rows persisted (the disk analogue of ``cached_rows``)."""
+        with self._lock:
+            value = self._conn.execute(
+                "SELECT COALESCE(SUM(rows), 0) FROM entries"
+            ).fetchone()[0]
+        return int(value)
+
+    def clear(self) -> None:
+        """Drop every persisted entry (the schema version row stays)."""
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM entries")
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "path": str(self.path),
+            "schema_version": DISK_SCHEMA_VERSION,
+            "entries": len(self),
+            "stored_rows": self.stored_rows(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "flushes": self.flushes,
+            "invalidated": self.invalidated,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "DiskCacheTier":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- the tiered cache ---------------------------------------------------------------------
+
+class TieredExecutionCache(ExecutionCache):
+    """An :class:`ExecutionCache` with a persistent disk tier underneath.
+
+    Reads are **read-through**: a memory miss consults the write-behind
+    buffer and then the disk tier, promoting any hit back into the memory
+    LRU (without re-queuing it for writing).  Writes are **write-behind**:
+    :meth:`put` lands in memory immediately and is buffered for disk; the
+    buffer flushes in one transaction every *write_batch_size* puts, on
+    :meth:`flush`, and on :meth:`close`.  ``stats`` keeps the combined
+    cache outcome (what the executor observes); the disk tier's own
+    hit/miss/write counters are surfaced through :meth:`describe` under
+    ``disk_*`` keys.
+
+    Failure outcomes (:meth:`put_error`) stay in the memory tier only.
+    """
+
+    def __init__(
+        self,
+        disk: DiskCacheTier | str | Path,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_cached_rows: int | None = None,
+        max_error_entries: int = DEFAULT_MAX_ERROR_ENTRIES,
+        write_batch_size: int = DEFAULT_WRITE_BATCH,
+    ):
+        super().__init__(
+            max_entries=max_entries,
+            max_cached_rows=max_cached_rows,
+            max_error_entries=max_error_entries,
+        )
+        if write_batch_size < 1:
+            raise ValueError("write_batch_size must be positive")
+        self.disk = disk if isinstance(disk, DiskCacheTier) else DiskCacheTier(disk)
+        self.write_batch_size = write_batch_size
+        self._pending: "OrderedDict[CacheKey, DataTable]" = OrderedDict()
+
+    # -- tiered lookups -------------------------------------------------------------
+    def get(self, view: DataTable, operation: Operation) -> Optional[DataTable]:
+        key = self.key_for(view, operation)
+        result = self._entries.get(key)
+        if result is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return result
+        # Evicted from memory but not yet flushed: the buffer still has it.
+        pending = self._pending.get(key)
+        if pending is not None:
+            self.stats.hits += 1
+            self._store(key, pending)
+            return pending
+        table = self.disk.get(key)
+        if table is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._store(key, table)
+        return table
+
+    def put(self, view: DataTable, operation: Operation, result: DataTable) -> None:
+        key = self.key_for(view, operation)
+        self._store(key, result)
+        self._pending[key] = result
+        if len(self._pending) >= self.write_batch_size:
+            self.flush()
+
+    # -- write-behind control --------------------------------------------------------
+    @property
+    def pending_writes(self) -> int:
+        """Results buffered in memory but not yet persisted."""
+        return len(self._pending)
+
+    def flush(self) -> int:
+        """Persist the write-behind buffer in one transaction; returns rows written."""
+        if not self._pending:
+            return 0
+        written = self.disk.put_many(self._pending.items())
+        self._pending.clear()
+        return written
+
+    def close(self) -> None:
+        """Flush outstanding writes and close the disk tier."""
+        self.flush()
+        self.disk.close()
+
+    def __enter__(self) -> "TieredExecutionCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- bookkeeping ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop the memory tier and the write-behind buffer (disk rows stay).
+
+        Use ``cache.disk.clear()`` to also wipe the persistent tier.
+        """
+        super().clear()
+        self._pending.clear()
+
+    def describe(self) -> dict[str, Any]:
+        """Counters and occupancy for *both* tiers."""
+        summary = super().describe()
+        summary["tiers"] = "memory+disk"
+        summary["pending_writes"] = len(self._pending)
+        summary["disk_hits"] = self.disk.hits
+        summary["disk_misses"] = self.disk.misses
+        summary["disk_writes"] = self.disk.writes
+        summary["disk_flushes"] = self.disk.flushes
+        summary["disk_entries"] = len(self.disk)
+        summary["disk_stored_rows"] = self.disk.stored_rows()
+        summary["disk_schema_version"] = DISK_SCHEMA_VERSION
+        return summary
+
+
+class ThreadSafeTieredExecutionCache(LockGuardedCacheOps, TieredExecutionCache):
+    """A :class:`TieredExecutionCache` guarded by a reentrant lock.
+
+    The engine shares one of these across its worker threads (mirroring
+    :class:`~repro.explore.cache.ThreadSafeExecutionCache` for the memory-
+    only case; the shared wrapper set lives in
+    :class:`~repro.explore.cache.LockGuardedCacheOps`).  The disk tier has
+    its own internal lock, but the memory LRU, the write-behind buffer and
+    the statistics need this outer lock to stay consistent under
+    concurrent requests.  Only the tier-specific operations — ``flush``
+    and ``close`` — are wrapped here.
+    """
+
+    def __init__(
+        self,
+        disk: DiskCacheTier | str | Path,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_cached_rows: int | None = None,
+        max_error_entries: int = DEFAULT_MAX_ERROR_ENTRIES,
+        write_batch_size: int = DEFAULT_WRITE_BATCH,
+    ):
+        super().__init__(
+            disk,
+            max_entries=max_entries,
+            max_cached_rows=max_cached_rows,
+            max_error_entries=max_error_entries,
+            write_batch_size=write_batch_size,
+        )
+        self._lock = threading.RLock()
+
+    def flush(self) -> int:
+        with self._lock:
+            return super().flush()
+
+    def close(self) -> None:
+        with self._lock:
+            super().close()
+
+
+def iter_cache_keys(
+    cache: ExecutionCache,
+) -> Iterator[CacheKey]:  # pragma: no cover - debugging helper
+    """The memory-tier keys of *cache* (newest last)."""
+    return iter(list(cache._entries))

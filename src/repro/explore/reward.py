@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .diversity import session_diversity
+from .diversity import result_distance
 from .interestingness import operation_interestingness
 from .operations import is_query_operation
 from .session import ExplorationSession, SessionNode
@@ -44,13 +44,25 @@ _MISSING = object()
 #: Interestingness memo bound; the memo is cleared wholesale when exceeded.
 _INTEREST_MEMO_MAX = 65536
 
+#: Pairwise result-distance memo bound (cleared wholesale when exceeded).
+_DISTANCE_MEMO_MAX = 65536
+
 
 class GenericExplorationReward:
-    """Computes the ATENA-style generic exploration reward for session steps."""
+    """Computes the ATENA-style generic exploration reward for session steps.
+
+    Both score components are memoised by content fingerprints — per-node
+    interestingness and the pairwise result distances behind the diversity
+    term — because training revisits the same (execution-cache-shared)
+    views thousands of times.  The scorer itself is stateless apart from
+    these pure memos, so one instance can be shared across the sibling
+    environments of a batched rollout wave.
+    """
 
     def __init__(self, config: GenericRewardConfig | None = None):
         self.config = config or GenericRewardConfig()
         self._interest_memo: dict[tuple, float] = {}
+        self._distance_memo: dict[tuple, float] = {}
 
     def node_interestingness(self, node: SessionNode) -> float:
         """Interestingness of a single executed query node (memoised).
@@ -75,6 +87,24 @@ class GenericExplorationReward:
             self._interest_memo[key] = value
         return value
 
+    def _view_distance(self, a, b) -> float:
+        """Memoised :func:`result_distance` (symmetric, fingerprint-keyed)."""
+        fa, fb = a.fingerprint(), b.fingerprint()
+        key = (fa, fb) if fa <= fb else (fb, fa)
+        value = self._distance_memo.get(key, _MISSING)
+        if value is _MISSING:
+            value = result_distance(a, b)
+            if len(self._distance_memo) >= _DISTANCE_MEMO_MAX:
+                self._distance_memo.clear()
+            self._distance_memo[key] = value
+        return value
+
+    def _diversity(self, new_view, previous_views) -> float:
+        """The session-diversity term with memoised pairwise distances."""
+        if not previous_views:
+            return 1.0
+        return min(self._view_distance(new_view, view) for view in previous_views)
+
     def step_reward(self, session: ExplorationSession, node: SessionNode) -> float:
         """Reward for the step that produced *node* (the newest query)."""
         if not is_query_operation(node.operation):
@@ -85,7 +115,7 @@ class GenericExplorationReward:
             self.node_interestingness(existing) for existing in session.query_nodes()
         )
         previous_views = [n.view for n in session.query_nodes() if n is not node]
-        diversity = session_diversity(node.view, previous_views)
+        diversity = self._diversity(node.view, previous_views)
         return (
             self.config.interestingness_weight * cumulative_interest / max(1, session.num_queries())
             + self.config.diversity_weight * diversity
@@ -100,7 +130,7 @@ class GenericExplorationReward:
         diversity_terms = []
         seen_views = []
         for node in nodes:
-            diversity_terms.append(session_diversity(node.view, seen_views))
+            diversity_terms.append(self._diversity(node.view, seen_views))
             seen_views.append(node.view)
         diversity = sum(diversity_terms) / len(diversity_terms)
         return (

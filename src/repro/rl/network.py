@@ -7,6 +7,16 @@ Figure 2), a value head for the baseline, and manual backpropagation.
 
 All parameters live in plain numpy arrays so the optimiser
 (:mod:`repro.rl.optimizer`) can update them in place.
+
+Forward passes accept either one observation vector or a ``(K, F)`` batch
+(:meth:`MultiHeadPolicyNetwork.forward_batch`), which is how the vectorised
+rollout collector (:mod:`repro.explore.rollouts`) evaluates K environments
+in one pass.  The affine kernels deliberately route through ``np.einsum``
+instead of BLAS matmul: OpenBLAS GEMM picks different micro-kernels for
+different batch shapes, so row ``k`` of a ``(K, F) @ W`` product is *not*
+bit-identical to the same row computed alone, while einsum's fixed reduction
+order is.  That row-independence is what lets a K-env batched rollout
+reproduce K sequential rollouts bit-for-bit (an explicit acceptance test).
 """
 
 from __future__ import annotations
@@ -23,9 +33,22 @@ def _init_weight(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndar
     return rng.uniform(-limit, limit, size=(fan_in, fan_out))
 
 
+def _affine(x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """``x @ weight + bias`` with a batch-shape-independent reduction order.
+
+    ``x`` must be 2-D ``(K, fan_in)``; the result row for any observation is
+    bit-identical whether it is computed in a batch of 1 or a batch of K.
+    """
+    return np.einsum("kf,fh->kh", x, weight) + bias
+
+
 @dataclass
 class DenseLayer:
-    """A fully-connected layer ``y = x @ W + b`` with optional tanh activation."""
+    """A fully-connected layer ``y = x @ W + b`` with optional tanh activation.
+
+    Forward/backward operate on 2-D ``(K, fan_in)`` batches; a batch of one
+    is the single-observation case.
+    """
 
     weight: np.ndarray
     bias: np.ndarray
@@ -48,8 +71,10 @@ class DenseLayer:
         )
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim == 1:
+            x = x[None, :]
         self._input = x
-        self._pre_activation = x @ self.weight + self.bias
+        self._pre_activation = _affine(x, self.weight, self.bias)
         if self.activation == "tanh":
             return np.tanh(self._pre_activation)
         if self.activation == "linear":
@@ -58,6 +83,8 @@ class DenseLayer:
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         """Accumulate parameter gradients and return the gradient wrt the input."""
+        if grad_output.ndim == 1:
+            grad_output = grad_output[None, :]
         if self.activation == "tanh":
             grad_pre = grad_output * (1.0 - np.tanh(self._pre_activation) ** 2)
         else:
@@ -65,12 +92,8 @@ class DenseLayer:
         if self.grad_weight is None:
             self.grad_weight = np.zeros_like(self.weight)
             self.grad_bias = np.zeros_like(self.bias)
-        if self._input.ndim == 1:
-            self.grad_weight += np.outer(self._input, grad_pre)
-            self.grad_bias += grad_pre
-        else:
-            self.grad_weight += self._input.T @ grad_pre
-            self.grad_bias += grad_pre.sum(axis=0)
+        self.grad_weight += self._input.T @ grad_pre
+        self.grad_bias += grad_pre.sum(axis=0)
         return grad_pre @ self.weight.T
 
     def zero_grad(self) -> None:
@@ -121,16 +144,33 @@ class MultiHeadPolicyNetwork:
         self.value_head = DenseLayer.create(rng, fan_in, 1, activation="linear")
 
     # -- forward --------------------------------------------------------------------------
-    def forward(self, observation: np.ndarray) -> tuple[dict[str, np.ndarray], float]:
-        """Return per-head probabilities and the state value for one observation."""
-        hidden = observation
+    def forward_batch(
+        self, observations: np.ndarray
+    ) -> tuple[dict[str, np.ndarray], np.ndarray]:
+        """Per-head probabilities ``(K, size)`` and state values ``(K,)`` for a batch.
+
+        Row ``k`` of every output is bit-identical to
+        :meth:`forward` applied to ``observations[k]`` alone (the affine
+        kernels have batch-shape-independent reduction order), so batched
+        rollouts reproduce sequential ones exactly.
+        """
+        hidden = np.asarray(observations, dtype=np.float64)
+        if hidden.ndim != 2:
+            raise ValueError(f"expected a (K, F) batch, got shape {hidden.shape}")
         for layer in self.trunk:
             hidden = layer.forward(hidden)
         probabilities = {
             name: softmax(head.forward(hidden)) for name, head in self.heads.items()
         }
-        value = float(self.value_head.forward(hidden)[0])
-        return probabilities, value
+        values = self.value_head.forward(hidden)[:, 0]
+        return probabilities, values
+
+    def forward(self, observation: np.ndarray) -> tuple[dict[str, np.ndarray], float]:
+        """Return per-head probabilities and the state value for one observation."""
+        probabilities, values = self.forward_batch(
+            np.asarray(observation, dtype=np.float64)[None, :]
+        )
+        return {name: probs[0] for name, probs in probabilities.items()}, float(values[0])
 
     # -- backward -------------------------------------------------------------------------
     def backward(
@@ -144,10 +184,13 @@ class MultiHeadPolicyNetwork:
         gradients with respect to the head logits (see
         :class:`repro.rl.policy.CategoricalPolicy`).
         """
-        grad_hidden = np.zeros(self.trunk[-1].bias.shape if self.trunk else (self.observation_size,))
+        width = self.trunk[-1].bias.shape[0] if self.trunk else self.observation_size
+        grad_hidden = np.zeros((1, width))
         for name, grad_logits in head_grad_logits.items():
-            grad_hidden = grad_hidden + self.heads[name].backward(grad_logits)
-        grad_hidden = grad_hidden + self.value_head.backward(np.array([value_grad]))
+            grad_hidden = grad_hidden + self.heads[name].backward(
+                np.asarray(grad_logits)
+            )
+        grad_hidden = grad_hidden + self.value_head.backward(np.array([[value_grad]]))
         for layer in reversed(self.trunk):
             grad_hidden = layer.backward(grad_hidden)
 

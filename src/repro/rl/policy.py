@@ -17,12 +17,20 @@ A second hook, the *mask provider*, returns per-head boolean validity masks
 logit bias, driving their probability to exactly zero; the mask in effect at
 sampling time is recorded on the decision so the gradient update re-applies
 the same distribution.
+
+Acting comes in two shapes: :meth:`CategoricalPolicy.act` for one
+observation, and :meth:`CategoricalPolicy.act_batch` for a ``(K, F)`` stack
+of observations from K environments stepped in lock-step (see
+:mod:`repro.explore.rollouts`).  Both run the exact same per-row arithmetic
+— one shared sampling kernel, one shared bias fold — so a batched decision
+for environment ``k`` is bit-identical to the sequential decision taken with
+the same RNG stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Optional
+from typing import Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +42,25 @@ MaskProvider = Callable[[str], Optional[np.ndarray]]
 #: Additive logit applied to masked-out choices; large enough that the
 #: post-softmax probability underflows to exactly 0.0.
 MASK_LOGIT_BIAS = -1e9
+
+
+def sample_index(
+    rng: np.random.Generator, probs: np.ndarray, cdf: np.ndarray | None = None
+) -> int:
+    """Inverse-CDF categorical sampling (one uniform draw per call).
+
+    This replaces ``rng.choice(n, p=probs)`` on the hot path: the Generator
+    method re-validates and re-normalises ``p`` on every call, which costs
+    more than the policy forward itself for small heads.  Consuming exactly
+    one ``rng.random()`` per head keeps per-environment RNG streams easy to
+    reason about (and to replay) in batched rollouts.  ``cdf`` lets the
+    batched caller pass one row of a precomputed row-wise cumsum instead of
+    recomputing it per draw.
+    """
+    if cdf is None:
+        cdf = np.cumsum(probs)
+    index = int(np.searchsorted(cdf, rng.random() * cdf[-1], side="right"))
+    return min(index, len(cdf) - 1)
 
 
 @dataclass
@@ -104,50 +131,151 @@ class CategoricalPolicy:
             biases[name] = bias
         return biases
 
+    def decision_biases(self) -> dict[str, np.ndarray]:
+        """The per-head logit biases in effect right now (provider + masks).
+
+        This is the per-step, per-environment part of acting; the batched
+        rollout collector calls it once per environment (with the policy's
+        hooks bound to that environment) and hands the results to
+        :meth:`act_batch`.
+        """
+        return self._apply_masks(self._collect_biases())
+
+    @staticmethod
+    def _adjust_probabilities(
+        probabilities: dict[str, np.ndarray],
+        biases: Optional[dict[str, np.ndarray]],
+    ) -> dict[str, np.ndarray]:
+        """Re-softmax each biased head's probabilities with the bias added."""
+        if not biases:
+            return probabilities
+        adjusted: dict[str, np.ndarray] = {}
+        for name, probs in probabilities.items():
+            bias = biases.get(name)
+            if bias is None:
+                adjusted[name] = probs
+                continue
+            logits = np.log(np.clip(probs, 1e-12, None)) + bias
+            shifted = logits - logits.max()
+            exp = np.exp(shifted)
+            adjusted[name] = exp / exp.sum()
+        return adjusted
+
     def _head_probabilities(
         self,
         observation: np.ndarray,
         biases: Optional[dict[str, np.ndarray]] = None,
     ) -> tuple[dict[str, np.ndarray], float]:
         probabilities, value = self.network.forward(observation)
-        if biases:
-            adjusted: dict[str, np.ndarray] = {}
-            for name, probs in probabilities.items():
-                bias = biases.get(name)
-                if bias is None:
-                    adjusted[name] = probs
-                    continue
-                logits = np.log(np.clip(probs, 1e-12, None)) + bias
-                shifted = logits - logits.max()
-                exp = np.exp(shifted)
-                adjusted[name] = exp / exp.sum()
-            probabilities = adjusted
-        return probabilities, value
+        return self._adjust_probabilities(probabilities, biases), value
 
-    def act(self, observation: np.ndarray, greedy: bool = False) -> PolicyDecision:
-        """Sample (or argmax, when *greedy*) one index per head."""
-        biases = self._apply_masks(self._collect_biases())
-        probabilities, value = self._head_probabilities(observation, biases)
-        indices: dict[str, int] = {}
-        log_prob = 0.0
-        entropy = 0.0
-        for name, probs in probabilities.items():
-            if greedy:
-                index = int(np.argmax(probs))
-            else:
-                index = int(self.rng.choice(len(probs), p=probs))
-            indices[name] = index
-            log_prob += float(np.log(max(probs[index], 1e-12)))
-            entropy += float(-np.sum(probs * np.log(np.clip(probs, 1e-12, None))))
-        return PolicyDecision(
-            indices=indices,
-            probabilities=probabilities,
-            log_prob=log_prob,
-            value=value,
-            entropy=entropy,
-            observation=np.array(observation, copy=True),
-            biases=biases,
-        )
+    def act(
+        self,
+        observation: np.ndarray,
+        greedy: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> PolicyDecision:
+        """Sample (or argmax, when *greedy*) one index per head.
+
+        ``rng`` overrides the policy's own generator for this decision —
+        sequential replays of batched rollouts use it to consume the same
+        per-environment stream the batch did.  Acting is the batch kernel
+        with K = 1, so a batched decision for the same observation, biases
+        and RNG state is bit-identical by construction.
+        """
+        biases = self.decision_biases()
+        return self.act_batch(
+            np.asarray(observation, dtype=np.float64)[None, :],
+            [biases],
+            None if rng is None else [rng],
+            greedy=greedy,
+        )[0]
+
+    def act_batch(
+        self,
+        observations: np.ndarray,
+        biases_list: Sequence[dict[str, np.ndarray]],
+        rngs: Sequence[np.random.Generator] | None = None,
+        greedy: bool = False,
+    ) -> list[PolicyDecision]:
+        """Decide for a ``(K, F)`` batch of observations in one network pass.
+
+        ``biases_list[k]`` holds environment *k*'s per-head logit biases
+        (:meth:`decision_biases` computed with the policy bound to that
+        environment) and ``rngs[k]`` its sampling stream.  Everything that
+        does not consume randomness is vectorised across the batch — the
+        trunk/head forward, the bias folds, the per-head log/entropy/CDF
+        statistics — while sampling draws one uniform per head from each
+        row's own RNG.  All batched kernels reduce along the contiguous
+        last axis, so row *k* of every intermediate is bit-identical to the
+        same computation on ``observations[k]`` alone, whatever K is.
+        """
+        obs = np.asarray(observations, dtype=np.float64)
+        if obs.ndim != 2:
+            raise ValueError(f"expected a (K, F) observation batch, got {obs.shape}")
+        count = len(obs)
+        if len(biases_list) != count:
+            raise ValueError("need one bias mapping per observation")
+        if rngs is not None and len(rngs) != count:
+            raise ValueError("need one RNG per observation")
+        batch_probs, values = self.network.forward_batch(obs)
+        names = list(batch_probs)
+        adjusted: dict[str, np.ndarray] = {}
+        for name in names:
+            matrix = batch_probs[name]
+            rows = [
+                k for k in range(count) if biases_list[k].get(name) is not None
+            ]
+            if rows:
+                # Re-softmax only the rows that carry a bias; unbiased rows
+                # keep the raw head output untouched (a zero-bias fold is
+                # not a bitwise no-op).
+                index = np.asarray(rows)
+                bias = np.stack([biases_list[k][name] for k in rows])
+                logits = np.log(np.clip(matrix[index], 1e-12, None)) + bias
+                shifted = logits - logits.max(axis=-1, keepdims=True)
+                exp = np.exp(shifted)
+                matrix = np.array(matrix)
+                matrix[index] = exp / exp.sum(axis=-1, keepdims=True)
+            adjusted[name] = matrix
+
+        # Per-head decision statistics, batched: entropies accumulate in head
+        # order (matching the scalar accumulation of a single decision) and
+        # sampling CDFs come from one row-wise cumsum per head.
+        entropies = np.zeros(count)
+        cdfs: dict[str, np.ndarray] = {}
+        for name in names:
+            matrix = adjusted[name]
+            logs = np.log(np.clip(matrix, 1e-12, None))
+            entropies += -(matrix * logs).sum(axis=-1)
+            if not greedy:
+                cdfs[name] = np.cumsum(matrix, axis=-1)
+
+        decisions: list[PolicyDecision] = []
+        for k in range(count):
+            rng = self.rng if rngs is None else rngs[k]
+            indices: dict[str, int] = {}
+            log_prob = 0.0
+            for name in names:
+                row = adjusted[name][k]
+                if greedy:
+                    index = int(np.argmax(row))
+                else:
+                    index = sample_index(rng, row, cdfs[name][k])
+                indices[name] = index
+                log_prob += float(np.log(max(row[index], 1e-12)))
+            decisions.append(
+                PolicyDecision(
+                    indices=indices,
+                    probabilities={name: adjusted[name][k] for name in names},
+                    log_prob=log_prob,
+                    value=float(values[k]),
+                    entropy=float(entropies[k]),
+                    observation=np.array(obs[k], copy=True),
+                    biases=biases_list[k],
+                )
+            )
+        return decisions
 
     # -- learning ------------------------------------------------------------------------
     def accumulate_gradient(
@@ -195,7 +323,5 @@ class CategoricalPolicy:
     # -- diagnostics ----------------------------------------------------------------------
     def action_distribution(self, observation: np.ndarray) -> Mapping[str, np.ndarray]:
         """Per-head probabilities without sampling (used in tests and the ablation)."""
-        probabilities, _ = self._head_probabilities(
-            observation, self._apply_masks(self._collect_biases())
-        )
+        probabilities, _ = self._head_probabilities(observation, self.decision_biases())
         return probabilities

@@ -5,18 +5,35 @@ actor-critic), entropy regularisation and reward normalisation.  This is the
 training loop both the goal-agnostic ATENA baseline and the LINX CDRL agent
 use; LINX differs only in its environment reward and its specification-aware
 policy (snippet head + logit biasing).
+
+Rollout collection has two modes.  The default steps one environment per
+episode (the historical path).  When the trainer is given a
+:class:`~repro.explore.rollouts.VectorEnvironment` (and ``num_envs > 1`` in
+the config), episodes are collected in lock-step *waves* of K environments
+sharing one execution cache — one batched policy forward per step instead of
+K — via :func:`repro.explore.rollouts.collect_rollouts`.  Wave episodes
+sample from per-episode RNG streams derived from ``(seed, episode_index)``,
+so a training run is reproducible for a given ``(seed, num_envs)``
+configuration.  Different ``num_envs`` values are *not* interchangeable:
+every episode of a wave is collected with the wave's starting weights, so
+changing K changes how sampling interleaves with gradient updates (the
+rollout-level bit-identity guarantee belongs to ``collect_rollouts`` vs
+``collect_sequential_rollouts``, not to the trainer's two modes).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
-from repro.explore.action_space import ActionChoice, HEAD_ORDER
+from repro.explore.action_space import ActionChoice, choice_from_index_map
 from repro.explore.environment import ExplorationEnvironment
 from repro.explore.session import ExplorationSession
+
+if TYPE_CHECKING:  # imported lazily at runtime (rollouts itself builds on rl)
+    from repro.explore.rollouts import VectorEnvironment
 
 from .buffer import EpisodeBuffer
 from .optimizer import Adam
@@ -40,6 +57,9 @@ class TrainerConfig:
     # batch, which keeps rare high-reward (e.g. fully compliant) behaviour from
     # being washed out by the on-policy gradient noise.
     elite_episodes: int = 2
+    #: Environments rolled out in lock-step per collection wave.  Values > 1
+    #: require the trainer to be constructed with a ``vector_environment``.
+    num_envs: int = 1
 
 
 @dataclass
@@ -83,8 +103,8 @@ DecisionToChoice = Callable[[dict[str, int]], ActionChoice]
 
 
 def default_decision_to_choice(indices: dict[str, int]) -> ActionChoice:
-    """Map head indices (in :data:`HEAD_ORDER`) to an :class:`ActionChoice`."""
-    return ActionChoice(**{name: indices.get(name, 0) for name in HEAD_ORDER})
+    """Map per-head indices to an :class:`ActionChoice` (the canonical decoder)."""
+    return choice_from_index_map(indices)
 
 
 class PolicyGradientTrainer:
@@ -96,11 +116,24 @@ class PolicyGradientTrainer:
         policy: CategoricalPolicy,
         config: TrainerConfig | None = None,
         decision_to_choice: DecisionToChoice | None = None,
+        vector_environment: "VectorEnvironment | None" = None,
     ):
         self.environment = environment
         self.policy = policy
         self.config = config or TrainerConfig()
         self.decision_to_choice = decision_to_choice or default_decision_to_choice
+        self.vector_environment = vector_environment
+        if self.config.num_envs > 1:
+            if vector_environment is None:
+                raise ValueError(
+                    "num_envs > 1 requires a vector_environment "
+                    "(see repro.explore.rollouts.VectorEnvironment)"
+                )
+            if vector_environment.num_envs < self.config.num_envs:
+                raise ValueError(
+                    f"num_envs={self.config.num_envs} exceeds the vector "
+                    f"environment's {vector_environment.num_envs} environments"
+                )
         self.optimizer = Adam(learning_rate=self.config.learning_rate)
         self.history = TrainingHistory()
         self._elite: list[EpisodeBuffer] = []
@@ -126,11 +159,18 @@ class PolicyGradientTrainer:
         episodes: Optional[int] = None,
         callback: Optional[Callable[[int, float, ExplorationSession], None]] = None,
     ) -> TrainingHistory:
-        """Train for *episodes* (default from the config) and return the history."""
+        """Train for *episodes* (default from the config) and return the history.
+
+        With ``config.num_envs > 1`` (and a vector environment) episodes are
+        collected in lock-step waves of up to ``num_envs`` environments over
+        one shared execution cache; per-episode bookkeeping — history,
+        gradient batches, elite tracking, callbacks, periodic greedy
+        evaluations — is identical in both modes.
+        """
         total_episodes = episodes if episodes is not None else self.config.episodes
         batch: list[EpisodeBuffer] = []
-        for episode in range(total_episodes):
-            buffer, session = self.run_episode(greedy=False)
+
+        def record(episode: int, buffer: EpisodeBuffer, session: ExplorationSession) -> None:
             self.history.episode_returns.append(buffer.total_reward())
             self.history.episode_steps.append(len(buffer))
             batch.append(buffer)
@@ -139,13 +179,39 @@ class PolicyGradientTrainer:
                 callback(episode, buffer.total_reward(), session)
             if len(batch) >= self.config.batch_episodes:
                 self._update(batch)
-                batch = []
+                batch.clear()
             if (
                 self.config.greedy_eval_every
                 and (episode + 1) % self.config.greedy_eval_every == 0
             ):
                 greedy_buffer, _ = self.run_episode(greedy=True)
-                self.history.greedy_returns.append((episode + 1, greedy_buffer.total_reward()))
+                self.history.greedy_returns.append(
+                    (episode + 1, greedy_buffer.total_reward())
+                )
+
+        num_envs = self.config.num_envs
+        if num_envs > 1 and self.vector_environment is not None:
+            from repro.explore.rollouts import collect_rollouts
+
+            episode = 0
+            while episode < total_episodes:
+                wave = min(num_envs, total_episodes - episode)
+                rollout = collect_rollouts(
+                    self.vector_environment,
+                    self.policy,
+                    seed=self.config.seed,
+                    episode_base=episode,
+                    num_episodes=wave,
+                    decision_to_choice=self.decision_to_choice,
+                    reward_scale=self.config.reward_scale,
+                )
+                for buffer, session in zip(rollout.buffers, rollout.sessions):
+                    record(episode, buffer, session)
+                    episode += 1
+        else:
+            for episode in range(total_episodes):
+                buffer, session = self.run_episode(greedy=False)
+                record(episode, buffer, session)
         if batch:
             self._update(batch)
         self.history.cache_stats = self.environment.cache_stats()
