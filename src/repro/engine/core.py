@@ -30,7 +30,7 @@ import os
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, TypeVar
 
 from repro.bench.generator import generate_benchmark
 from repro.cdrl.agent import CdrlConfig
@@ -51,7 +51,13 @@ from repro.llm.interface import LLMClient
 from repro.llm.mock import gpt4_client
 from repro.nl2ldx.fewshot import FewShotBank
 
-from .errors import FieldError, RequestValidationError, StageFailedError
+from .errors import (
+    FieldError,
+    RequestCancelledError,
+    RequestTimeoutError,
+    RequestValidationError,
+    StageFailedError,
+)
 from .events import (
     EVENT_EPISODE,
     EVENT_REQUEST_FINISHED,
@@ -62,6 +68,14 @@ from .events import (
     ProgressEvent,
     ProgressObserver,
 )
+from .registry import (
+    KIND_INSIGHT_EXTRACTOR,
+    KIND_NOTEBOOK_RENDERER,
+    KIND_SESSION_GENERATOR,
+    KIND_SPEC_DERIVER,
+    STAGE_REGISTRY,
+    StageContext,
+)
 from .request import ExploreRequest
 from .result import (
     STAGE_DERIVE,
@@ -69,6 +83,7 @@ from .result import (
     STAGE_INSIGHTS,
     STAGE_ORDER,
     STAGE_RENDER,
+    STATUS_CANCELLED,
     STATUS_COMPLETE,
     STATUS_FAILED,
     STATUS_SKIPPED,
@@ -96,6 +111,14 @@ PERMISSIVE_LDX = "ROOT CHILDREN <A1,A2>\nA1 LIKE [F,.*]\nA2 LIKE [G,.*]"
 #: must be bounded: 2M cached rows keeps worst-case residency at a few hundred
 #: MB even on wide tables, while far exceeding a single request's working set.
 DEFAULT_ENGINE_MAX_CACHED_ROWS = 2_000_000
+
+#: Stage kind → the engine attribute holding that stage's instance.
+STAGE_KIND_ATTRS: dict[str, str] = {
+    KIND_SPEC_DERIVER: "spec_deriver",
+    KIND_SESSION_GENERATOR: "session_generator",
+    KIND_NOTEBOOK_RENDERER: "notebook_renderer",
+    KIND_INSIGHT_EXTRACTOR: "insight_extractor",
+}
 
 T = TypeVar("T")
 
@@ -146,6 +169,7 @@ class LinxEngine:
         session_generator: SessionGenerator | None = None,
         notebook_renderer: NotebookRenderer | None = None,
         insight_extractor: InsightExtractor | None = None,
+        stages: Mapping[str, str] | None = None,
         cache: ExecutionCache | None = None,
         max_cache_entries: int = DEFAULT_MAX_ENTRIES,
         max_cached_rows: int | None = DEFAULT_ENGINE_MAX_CACHED_ROWS,
@@ -171,7 +195,9 @@ class LinxEngine:
         self._max_cache_entries = max_cache_entries
         self._max_cached_rows = max_cached_rows
         # Process-pool workers rebuild the engine from a picklable spec, so
-        # they can only reproduce declaratively-configured engines.
+        # they can only reproduce declaratively-configured engines.  Stage
+        # selection *by registered name* (``stages=...``) stays declarative
+        # — only live stage objects, caches and clients disqualify.
         self._custom_stages = any(
             stage is not None
             for stage in (
@@ -183,18 +209,40 @@ class LinxEngine:
         ) or cache is not None or llm_client is not None
         self._bank_lock = threading.Lock()
         self._bank: Optional[FewShotBank] = None
-        self.spec_deriver: SpecDeriver = spec_deriver or ChainedSpecDeriver(
-            self.llm_client, self.fewshot_bank
+        self.registry = STAGE_REGISTRY
+        self.stage_selection: dict[str, str] = dict(stages or {})
+        unknown_kinds = sorted(set(self.stage_selection) - set(STAGE_KIND_ATTRS))
+        if unknown_kinds:
+            raise ValueError(
+                f"unknown stage kinds {unknown_kinds}; expected a subset of "
+                f"{sorted(STAGE_KIND_ATTRS)}"
+            )
+        named = self.registry.resolve(self.stage_selection, self._stage_context())
+        self.spec_deriver: SpecDeriver = (
+            spec_deriver
+            or named.get(KIND_SPEC_DERIVER)
+            or ChainedSpecDeriver(self.llm_client, self.fewshot_bank)
         )
         self.session_generator: SessionGenerator = (
-            session_generator or CdrlSessionGenerator(self.cdrl_config)
+            session_generator
+            or named.get(KIND_SESSION_GENERATOR)
+            or CdrlSessionGenerator(self.cdrl_config)
         )
         self.notebook_renderer: NotebookRenderer = (
-            notebook_renderer or MarkdownNotebookRenderer()
+            notebook_renderer
+            or named.get(KIND_NOTEBOOK_RENDERER)
+            or MarkdownNotebookRenderer()
         )
         self.insight_extractor: InsightExtractor = (
-            insight_extractor or DefaultInsightExtractor()
+            insight_extractor
+            or named.get(KIND_INSIGHT_EXTRACTOR)
+            or DefaultInsightExtractor()
         )
+        # Per-request stage instances resolved by name, memoized: stage
+        # implementations are stateless per request, so one instance per
+        # (kind, name) serves every request and thread.
+        self._stage_instances: dict[tuple[str, str], Any] = {}
+        self._stage_instances_lock = threading.Lock()
 
     # -- shared state ----------------------------------------------------------------
     def fewshot_bank(self) -> FewShotBank:
@@ -214,6 +262,68 @@ class LinxEngine:
         """Engine-wide execution-cache statistics and occupancy."""
         return self.cache.describe()
 
+    def config_fingerprint(self) -> str:
+        """Digest of this engine's result-shaping configuration.
+
+        Covers everything that changes *what identical requests produce*
+        under engine defaults — the CDRL configuration (episode budget,
+        seeds, trainer hyper-parameters) and the ``name`` of every
+        configured stage implementation (which also distinguishes custom
+        stage *objects* from the defaults, as long as they carry distinct
+        names).  The scheduler namespaces result-store keys with it, so a
+        store file shared across servers (or restarts) with different
+        configurations never serves one configuration's results for
+        another's requests.
+        """
+        import dataclasses
+        import hashlib
+
+        payload = repr(
+            (
+                sorted(dataclasses.asdict(self.cdrl_config).items()),
+                [
+                    (kind, getattr(getattr(self, attribute), "name", "custom"))
+                    for kind, attribute in sorted(STAGE_KIND_ATTRS.items())
+                ],
+            )
+        )
+        return hashlib.blake2b(payload.encode("utf-8"), digest_size=12).hexdigest()
+
+    def _stage_context(self) -> StageContext:
+        """The shared-state bundle handed to registry stage factories."""
+        return StageContext(
+            llm_client=self.llm_client,
+            fewshot_bank=self.fewshot_bank,
+            cdrl_config=self.cdrl_config,
+        )
+
+    def _stage_by_name(self, kind: str, name: str) -> Any:
+        """The memoized stage instance registered under ``(kind, name)``."""
+        key = (kind, str(name).strip().lower())
+        with self._stage_instances_lock:
+            instance = self._stage_instances.get(key)
+        if instance is None:
+            instance = self.registry.create(kind, name, self._stage_context())
+            with self._stage_instances_lock:
+                instance = self._stage_instances.setdefault(key, instance)
+        return instance
+
+    def _stages_for(self, request: ExploreRequest) -> dict[str, Any]:
+        """The stage instances serving *request* (kind → stage).
+
+        A request's declarative ``stages`` selection overrides the engine's
+        configured stage per kind; unselected kinds keep the engine's.
+        Unknown names raise :class:`RequestValidationError` before any work
+        starts.
+        """
+        stages = {
+            kind: getattr(self, attribute)
+            for kind, attribute in STAGE_KIND_ATTRS.items()
+        }
+        for kind, name in (request.stages or {}).items():
+            stages[kind] = self._stage_by_name(kind, name)
+        return stages
+
     def resolve_table(self, request: ExploreRequest) -> DataTable:
         """Materialise the dataset a request refers to."""
         return load_dataset(
@@ -232,6 +342,8 @@ class LinxEngine:
         *,
         table: DataTable | None = None,
         observer: ProgressObserver | None = None,
+        timeout: float | None = None,
+        cancel_event: threading.Event | None = None,
         _label: str = "",
     ) -> ExploreResult:
         """Process one request through the full pipeline.
@@ -240,6 +352,13 @@ class LinxEngine:
         :class:`DataTable` (the in-process escape hatch used by the legacy
         facade); the request stays declarative and serializable either way.
         ``observer`` receives ordered :class:`ProgressEvent` notifications.
+
+        ``timeout`` (seconds) and ``cancel_event`` enable *cooperative*
+        interruption: the engine checks both at every stage boundary and at
+        every training-episode tick, and raises
+        :class:`~repro.engine.errors.RequestTimeoutError` /
+        :class:`~repro.engine.errors.RequestCancelledError` — never a
+        partial result — when the deadline passes or the event is set.
         """
         known = None
         if table is not None:
@@ -262,6 +381,17 @@ class LinxEngine:
 
         request_id = request.request_id or _label or "request"
         emit: ProgressObserver = observer or (lambda event: None)
+        stages = self._stages_for(request)
+        deadline = time.monotonic() + timeout if timeout is not None else None
+
+        def guard() -> None:
+            # The cooperative checkpoint: cheap enough for every episode tick.
+            if cancel_event is not None and cancel_event.is_set():
+                raise RequestCancelledError(request_id)
+            if deadline is not None and time.monotonic() > deadline:
+                raise RequestTimeoutError(request_id, timeout)
+
+        guard()
         result = ExploreResult(
             request=request.to_dict(),
             dataset_name=request.dataset,
@@ -269,6 +399,10 @@ class LinxEngine:
         )
         for stage_name in STAGE_ORDER:
             result.stage(stage_name)  # pre-register, status "pending"
+        result.stage_names = {
+            stage_kind: getattr(stage, "name", type(stage).__name__)
+            for stage_kind, stage in stages.items()
+        }
         emit(ProgressEvent(request_id, EVENT_REQUEST_STARTED))
 
         if table is None:
@@ -284,12 +418,13 @@ class LinxEngine:
             emit(ProgressEvent(request_id, EVENT_STAGE_SKIPPED, STAGE_DERIVE))
             ldx_text = request.ldx_text
         else:
+            guard()
             derivation = self._run_stage(
                 result,
                 STAGE_DERIVE,
                 request_id,
                 emit,
-                lambda: self.spec_deriver.derive(table.name, request.goal),
+                lambda: stages[KIND_SPEC_DERIVER].derive(table.name, request.goal),
                 required=True,
             )
             ldx_text = derivation.ldx_text
@@ -312,6 +447,7 @@ class LinxEngine:
 
         # -- stage 2: constrained session generation ----------------------------
         def on_episode(episode: int, episode_return: float, _session) -> None:
+            guard()
             emit(
                 ProgressEvent(
                     request_id,
@@ -321,12 +457,13 @@ class LinxEngine:
                 )
             )
 
+        guard()
         outcome = self._run_stage(
             result,
             STAGE_GENERATE,
             request_id,
             emit,
-            lambda: self.session_generator.generate(
+            lambda: stages[KIND_SESSION_GENERATOR].generate(
                 table,
                 ldx_text,
                 episodes=request.episodes,
@@ -346,22 +483,24 @@ class LinxEngine:
         ]
 
         # -- stage 3 + 4: rendering and insights (non-fatal on failure) ----------
+        guard()
         notebook = self._run_stage(
             result,
             STAGE_RENDER,
             request_id,
             emit,
-            lambda: self.notebook_renderer.render(session, request.goal),
+            lambda: stages[KIND_NOTEBOOK_RENDERER].render(session, request.goal),
             required=False,
         )
         if notebook is not None:
             result.notebook_markdown = notebook.to_markdown()
+        guard()
         insights = self._run_stage(
             result,
             STAGE_INSIGHTS,
             request_id,
             emit,
-            lambda: self.insight_extractor.extract(session),
+            lambda: stages[KIND_INSIGHT_EXTRACTOR].extract(session),
             required=False,
         )
         if insights is not None:
@@ -388,6 +527,7 @@ class LinxEngine:
         max_workers: int | None = None,
         observer: ProgressObserver | None = None,
         workers: str = "thread",
+        timeout: float | None = None,
     ) -> list[ExploreResult]:
         """Process a batch of requests, fanned out over a worker pool.
 
@@ -405,13 +545,21 @@ class LinxEngine:
         the engine from this one's declarative configuration.  CDRL training
         is pure Python/numpy and GIL-bound, so threads mostly interleave —
         processes actually scale.  Caveats: only declaratively-configured
-        engines qualify (default stages/LLM/cache; a ``disk_cache_path``
-        lets the workers share executed results through the persistent
-        tier), per-request events are emitted from the parent only at
-        request granularity, and results come back as lossless JSON
-        round-trips — live ``artifacts`` (session/notebook objects) are not
-        attached.  Request seeds behave exactly as in thread mode, so a
-        batch's results are identical run-to-run and mode-to-mode.
+        engines qualify — default stages *or stages selected by registered
+        name* (engine-level ``stages=...`` or per-request
+        ``request.stages``), default LLM/cache; a ``disk_cache_path`` lets
+        the workers share executed results through the persistent tier —
+        and results come back as lossless JSON round-trips, so live
+        ``artifacts`` (session/notebook objects) are not attached.  With an
+        ``observer``, workers stream their full event sequence (episode
+        ticks included) back over a multiprocessing queue; per-request
+        ordering is preserved, cross-request interleaving mirrors thread
+        mode.  Request seeds behave exactly as in thread mode, so a batch's
+        results are identical run-to-run and mode-to-mode.
+
+        ``timeout`` applies *per request* in both modes; a request past its
+        deadline raises :class:`~repro.engine.errors.RequestTimeoutError`
+        out of the batch.
         """
         if workers not in ("thread", "process"):
             raise ValueError(f"workers must be 'thread' or 'process', got {workers!r}")
@@ -423,16 +571,24 @@ class LinxEngine:
             for index, request in enumerate(batch)
         ]
         if workers == "process":
-            return self._explore_many_processes(batch, labels, max_workers, observer)
+            return self._explore_many_processes(
+                batch, labels, max_workers, observer, timeout
+            )
         pool_size = max_workers if max_workers is not None else min(4, len(batch))
         if pool_size <= 1 or len(batch) == 1:
             return [
-                self.explore(request, observer=observer, _label=label)
+                self.explore(request, observer=observer, timeout=timeout, _label=label)
                 for request, label in zip(batch, labels)
             ]
         with ThreadPoolExecutor(max_workers=pool_size) as pool:
             futures = [
-                pool.submit(self.explore, request, observer=observer, _label=label)
+                pool.submit(
+                    self.explore,
+                    request,
+                    observer=observer,
+                    timeout=timeout,
+                    _label=label,
+                )
                 for request, label in zip(batch, labels)
             ]
             return [future.result() for future in futures]
@@ -443,20 +599,17 @@ class LinxEngine:
         labels: Sequence[str],
         max_workers: int | None,
         observer: ProgressObserver | None,
+        timeout: float | None = None,
     ) -> list[ExploreResult]:
         """Fan the batch out over processes that rebuild this engine's config."""
         if self._custom_stages:
             raise ValueError(
                 "workers='process' requires a declaratively-configured engine "
-                "(default stages, LLM client and cache); custom in-memory "
-                "components cannot be rebuilt in worker processes"
+                "(default or registry-named stages, default LLM client and "
+                "cache); custom in-memory components cannot be rebuilt in "
+                "worker processes"
             )
-        spec = {
-            "cdrl_config": self.cdrl_config,
-            "disk_cache_path": self.disk_cache_path,
-            "max_cache_entries": self._max_cache_entries,
-            "max_cached_rows": self._max_cached_rows,
-        }
+        spec = self.worker_spec()
         # Validate everything before any work is dispatched, so an invalid
         # request cannot strand already-submitted siblings mid-flight.
         for request in batch:
@@ -464,32 +617,63 @@ class LinxEngine:
         if isinstance(self.cache, TieredExecutionCache):
             # Everything executed so far becomes visible to the workers.
             self.cache.flush()
-        emit: ProgressObserver = observer or (lambda event: None)
         pool_size = max_workers if max_workers is not None else min(
             len(batch), os.cpu_count() or 1
         )
 
-        def finished_event(label: str):
-            # Emitted from a done-callback so every *completed* request gets
-            # its finished event even when a sibling request fails first
-            # (matching thread mode, where workers emit their own events).
-            def notify(future) -> None:
-                if future.cancelled() or future.exception() is not None:
-                    return
-                emit(ProgressEvent(label, EVENT_REQUEST_FINISHED))
+        # With an observer, workers stream their complete per-request event
+        # sequence — episode ticks included — back through a managed queue
+        # drained by a parent thread (the PR-4 follow-up: progress used to
+        # be request-granularity only).
+        progress_queue = None
+        drainer = None
+        manager = None
+        if observer is not None:
+            import multiprocessing
 
-            return notify
+            manager = multiprocessing.Manager()
+            progress_queue = manager.Queue()
+            drainer = threading.Thread(
+                target=drain_progress_queue,
+                args=(progress_queue, lambda label, event: observer(event)),
+                daemon=True,
+            )
+            drainer.start()
+        try:
+            with ProcessPoolExecutor(max_workers=max(1, pool_size)) as pool:
+                futures = [
+                    pool.submit(
+                        _process_worker,
+                        request.to_dict(),
+                        spec,
+                        label,
+                        progress_queue,
+                        timeout,
+                    )
+                    for request, label in zip(batch, labels)
+                ]
+                return [
+                    ExploreResult.from_dict(future.result()) for future in futures
+                ]
+        finally:
+            if progress_queue is not None:
+                progress_queue.put(None)
+                drainer.join(timeout=30)
+                manager.shutdown()
 
-        with ProcessPoolExecutor(max_workers=max(1, pool_size)) as pool:
-            futures = []
-            for request, label in zip(batch, labels):
-                emit(ProgressEvent(label, EVENT_REQUEST_STARTED))
-                future = pool.submit(_process_worker, request.to_dict(), spec)
-                future.add_done_callback(finished_event(label))
-                futures.append(future)
-            return [
-                ExploreResult.from_dict(future.result()) for future in futures
-            ]
+    def worker_spec(self) -> dict[str, Any]:
+        """The picklable spec a worker process rebuilds this engine from.
+
+        Only meaningful for declaratively-configured engines (the process
+        entry points check ``_custom_stages`` before using it).
+        """
+        return {
+            "cdrl_config": self.cdrl_config,
+            "disk_cache_path": self.disk_cache_path,
+            "max_cache_entries": self._max_cache_entries,
+            "max_cached_rows": self._max_cached_rows,
+            "stages": dict(self.stage_selection),
+        }
 
     # -- internals -------------------------------------------------------------------
     def _run_stage(
@@ -514,6 +698,21 @@ class LinxEngine:
         started = time.perf_counter()
         try:
             value = run()
+        except RequestCancelledError:
+            # Cooperative cancellation aborts the whole request (required or
+            # not) and is never wrapped: schedulers must be able to tell
+            # "cancelled" from "failed".
+            status.seconds = time.perf_counter() - started
+            status.status = STATUS_CANCELLED
+            emit(
+                ProgressEvent(
+                    request_id,
+                    EVENT_STAGE_FINISHED,
+                    stage_name,
+                    {"status": STATUS_CANCELLED},
+                )
+            )
+            raise
         except Exception as exc:
             status.seconds = time.perf_counter() - started
             status.status = STATUS_FAILED
@@ -560,15 +759,29 @@ _worker_engine: Optional[LinxEngine] = None
 _worker_spec: Optional[dict[str, Any]] = None
 
 
-def _process_worker(request_payload: dict[str, Any], spec: dict[str, Any]) -> dict[str, Any]:
-    """Process one serialized request in a pool worker; returns the result dict.
+def drain_progress_queue(queue, route: Callable[[str, ProgressEvent], None]) -> None:
+    """Forward ``(label, event)`` pairs from a worker queue until ``None``.
 
-    The worker materialises a :class:`LinxEngine` from the parent's
-    declarative *spec* on first use (or when the spec changes) and keeps it
-    warm: the few-shot bank, the in-memory cache tier and — when a
-    ``disk_cache_path`` is configured — the shared persistent tier all
-    survive across the worker's tasks.
+    Shared by :meth:`LinxEngine.explore_many` (which drops the label — the
+    events already carry their request id) and the request scheduler (which
+    routes by label to per-ticket event logs).  Run it on a daemon thread;
+    enqueue ``None`` to stop it.
     """
+    while True:
+        item = queue.get()
+        if item is None:
+            return
+        label, event = item
+        try:
+            route(label, event)
+        except Exception:
+            # A broken observer must not kill the drainer (and with it
+            # every subsequent event of the batch).
+            pass
+
+
+def worker_engine(spec: dict[str, Any]) -> LinxEngine:
+    """This worker process's warm engine for *spec* (rebuilt on spec change)."""
     global _worker_engine, _worker_spec
     if _worker_engine is None or spec != _worker_spec:
         _worker_engine = LinxEngine(
@@ -576,7 +789,38 @@ def _process_worker(request_payload: dict[str, Any], spec: dict[str, Any]) -> di
             max_cache_entries=spec["max_cache_entries"],
             max_cached_rows=spec["max_cached_rows"],
             disk_cache_path=spec["disk_cache_path"],
+            stages=spec.get("stages") or None,
         )
         _worker_spec = spec
-    result = _worker_engine.explore(ExploreRequest.from_dict(request_payload))
+    return _worker_engine
+
+
+def _process_worker(
+    request_payload: dict[str, Any],
+    spec: dict[str, Any],
+    label: str = "",
+    progress_queue: Any = None,
+    timeout: float | None = None,
+) -> dict[str, Any]:
+    """Process one serialized request in a pool worker; returns the result dict.
+
+    The worker materialises a :class:`LinxEngine` from the parent's
+    declarative *spec* on first use (or when the spec changes) and keeps it
+    warm: the few-shot bank, the in-memory cache tier and — when a
+    ``disk_cache_path`` is configured — the shared persistent tier all
+    survive across the worker's tasks.  With a *progress_queue*, every
+    engine event is streamed to the parent as a ``(label, event)`` pair;
+    *timeout* bounds this request cooperatively (the deadline starts when
+    the worker picks the request up, not when it was queued).
+    """
+    engine = worker_engine(spec)
+    observer = None
+    if progress_queue is not None:
+        observer = lambda event: progress_queue.put((label, event))  # noqa: E731
+    result = engine.explore(
+        ExploreRequest.from_dict(request_payload),
+        observer=observer,
+        timeout=timeout,
+        _label=label,
+    )
     return result.to_dict()

@@ -46,6 +46,13 @@ class RequestValidationError(EngineError):
         detail = "; ".join(str(error) for error in self.errors) or "invalid request"
         super().__init__(f"invalid explore request: {detail}")
 
+    def __reduce__(self):
+        # Exception pickling reconstructs from self.args (the formatted
+        # message), which does not match this __init__ — process-pool
+        # workers re-raise these across the pipe, so spell out the real
+        # constructor arguments.
+        return (type(self), (self.errors,))
+
     def fields(self) -> tuple[str, ...]:
         """Names of the offending fields (useful in tests and error payloads)."""
         return tuple(error.field for error in self.errors)
@@ -66,3 +73,69 @@ class StageFailedError(EngineError):
         self.stage = stage
         self.cause = cause
         super().__init__(f"stage {stage!r} failed: {cause}")
+
+    def __reduce__(self):
+        # Without this, unpickling calls StageFailedError(<message>) with
+        # one argument and TypeErrors — which a ProcessPoolExecutor treats
+        # as a broken pool, killing every in-flight and future task of the
+        # long-lived scheduler pool.
+        return (type(self), (self.stage, self.cause))
+
+
+class RequestCancelledError(EngineError):
+    """A request was cancelled cooperatively while executing.
+
+    Raised from the engine's cancellation checkpoints (stage boundaries and
+    per-episode ticks) when the caller's cancel event is set.  Deliberately
+    *not* wrapped into :class:`StageFailedError` by the stage runner, so a
+    scheduler can distinguish "cancelled" from "failed" — a cancelled
+    request never produces a result and never lands in the result store.
+    """
+
+    def __init__(self, request_id: str = "", detail: str = ""):
+        self.request_id = request_id
+        self.detail = detail
+        message = f"request {request_id or '<unlabelled>'} cancelled"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+    def __reduce__(self):
+        # See StageFailedError.__reduce__: keep messages intact (and args
+        # valid) when a worker process raises this across the pipe.
+        return (RequestCancelledError, (self.request_id, self.detail))
+
+
+class RequestTimeoutError(RequestCancelledError):
+    """A request exceeded its deadline and was cancelled cooperatively.
+
+    A subclass of :class:`RequestCancelledError` because the observable
+    outcome is the same — execution stops at the next checkpoint and no
+    result is produced — with the deadline recorded for error payloads.
+    """
+
+    def __init__(self, request_id: str = "", timeout: float | None = None):
+        self.timeout = timeout
+        detail = f"exceeded {timeout:g}s timeout" if timeout is not None else "timed out"
+        super().__init__(request_id, detail)
+
+    def __reduce__(self):
+        return (RequestTimeoutError, (self.request_id, self.timeout))
+
+
+class SchedulerFullError(EngineError):
+    """The scheduler's bounded queue rejected a new request (back-pressure).
+
+    Serving layers translate this into HTTP 429 so clients retry instead of
+    piling unbounded work onto the engine.
+    """
+
+    def __init__(self, pending: int, capacity: int):
+        self.pending = pending
+        self.capacity = capacity
+        super().__init__(
+            f"scheduler queue is full ({pending} pending, capacity {capacity})"
+        )
+
+    def __reduce__(self):
+        return (SchedulerFullError, (self.pending, self.capacity))

@@ -2,24 +2,40 @@
 
 An :class:`ExploreRequest` names *what* to explore — a registered dataset
 (plus an optional row cap and generation seed), the analytical goal, an
-optional explicit LDX specification and an episode budget — without holding
-any live objects, so it can be posted over a wire, queued, logged and
-replayed.  :meth:`ExploreRequest.validate` checks the request up front and
-reports every problem at once as a
+optional explicit LDX specification, an episode budget and an optional
+declarative stage selection (``stages={"session_generator": "atena"}``,
+resolved against the :mod:`~repro.engine.registry`) — without holding any
+live objects, so it can be posted over a wire, queued, logged and replayed.
+:meth:`ExploreRequest.validate` checks the request up front and reports
+every problem at once as a
 :class:`~repro.engine.errors.RequestValidationError`.
+
+:meth:`ExploreRequest.canonical_hash` gives the request's *identity*: a
+stable digest of every execution-relevant field (the caller-assigned
+``request_id`` label is excluded), used by the scheduler to deduplicate
+in-flight work and by the result store to serve identical requests
+idempotently.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Iterable, Mapping
 
 from repro.datasets.registry import dataset_names
 
 from .errors import FieldError, RequestValidationError
+from .registry import STAGE_KINDS
 
 #: Version of the request wire format (bump on incompatible changes).
-REQUEST_SCHEMA_VERSION = "1.0"
+#: 1.1 added the optional ``stages`` selection; 1.0 payloads (which simply
+#: lack the field) are still accepted.
+REQUEST_SCHEMA_VERSION = "1.1"
+
+#: Request wire-format versions this build can parse.
+SUPPORTED_REQUEST_VERSIONS = ("1.0", "1.1")
 
 
 @dataclass(frozen=True)
@@ -47,9 +63,15 @@ class ExploreRequest:
     seed:
         Optional seed for session generation (policy init and sampling);
         ``None`` defers to the session generator's configured seed.
+    stages:
+        Optional declarative stage selection: a mapping from stage kind
+        (:data:`~repro.engine.registry.STAGE_KINDS`) to a registered stage
+        name, e.g. ``{"session_generator": "atena"}``.  Unselected kinds
+        keep the engine's configured stage.
     request_id:
         Optional caller-assigned identifier, echoed on progress events and
-        into the result.
+        into the result.  A *label*, not part of the request's identity:
+        :meth:`canonical_hash` ignores it.
     """
 
     goal: str
@@ -59,6 +81,7 @@ class ExploreRequest:
     ldx_text: str | None = None
     episodes: int | None = None
     seed: int | None = None
+    stages: dict[str, str] | None = None
     request_id: str = ""
     schema_version: str = REQUEST_SCHEMA_VERSION
 
@@ -73,12 +96,12 @@ class ExploreRequest:
         collection (e.g. when the caller supplies its own table).
         """
         errors: list[FieldError] = []
-        if self.schema_version != REQUEST_SCHEMA_VERSION:
+        if self.schema_version not in SUPPORTED_REQUEST_VERSIONS:
             errors.append(
                 FieldError(
                     "schema_version",
                     f"unsupported version {self.schema_version!r}; "
-                    f"expected {REQUEST_SCHEMA_VERSION!r}",
+                    f"supported: {list(SUPPORTED_REQUEST_VERSIONS)}",
                 )
             )
         if not isinstance(self.goal, str) or not self.goal.strip():
@@ -107,8 +130,35 @@ class ExploreRequest:
             not isinstance(self.ldx_text, str) or not self.ldx_text.strip()
         ):
             errors.append(FieldError("ldx_text", "must be a non-empty string or null"))
+        errors.extend(self._stage_selection_errors())
         if not isinstance(self.request_id, str):
             errors.append(FieldError("request_id", "must be a string"))
+        return errors
+
+    def _stage_selection_errors(self) -> list[FieldError]:
+        """Structural problems with the ``stages`` selection.
+
+        Stage *names* are resolved against the registry when the engine
+        executes the request (custom stages may be registered after
+        validation); only the shape and the kinds are checked here.
+        """
+        if self.stages is None:
+            return []
+        if not isinstance(self.stages, Mapping):
+            return [FieldError("stages", "must be an object mapping stage kind to name")]
+        errors: list[FieldError] = []
+        for kind, name in self.stages.items():
+            if kind not in STAGE_KINDS:
+                errors.append(
+                    FieldError(
+                        f"stages.{kind}",
+                        f"unknown stage kind; expected one of {sorted(STAGE_KINDS)}",
+                    )
+                )
+            elif not isinstance(name, str) or not name.strip():
+                errors.append(
+                    FieldError(f"stages.{kind}", "stage name must be a non-empty string")
+                )
         return errors
 
     def validate(self, known_datasets: Iterable[str] | None = None) -> "ExploreRequest":
@@ -117,6 +167,35 @@ class ExploreRequest:
         if errors:
             raise RequestValidationError(errors)
         return self
+
+    # -- identity --------------------------------------------------------------------
+    def canonical_hash(self) -> str:
+        """A stable hex digest identifying *what this request executes*.
+
+        Two requests hash identically exactly when the engine would do
+        identical work for them: every execution-relevant field
+        participates, normalised (an empty ``stages`` mapping equals
+        ``None``, selection order is irrelevant, and the wire-format
+        version is pinned so a 1.0 payload hashes like its 1.1 re-send).
+        The caller-assigned ``request_id`` label is excluded.  Used for
+        scheduler deduplication and as the result-store key.
+        """
+        payload = self.to_dict()
+        del payload["request_id"]
+        payload["schema_version"] = REQUEST_SCHEMA_VERSION
+        stages = payload.get("stages")
+        # Stage names resolve case-insensitively (stripped) in the
+        # registry, so equivalent spellings must hash identically too.
+        payload["stages"] = (
+            {
+                kind: str(stages[kind]).strip().lower()
+                for kind in sorted(stages)
+            }
+            if stages
+            else None
+        )
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.blake2b(canonical.encode("utf-8"), digest_size=20).hexdigest()
 
     # -- serialization ---------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
@@ -145,7 +224,10 @@ class ExploreRequest:
             raise RequestValidationError(
                 [FieldError(name, "required field is missing") for name in missing]
             )
-        return cls(**dict(payload))
+        prepared = dict(payload)
+        if isinstance(prepared.get("stages"), Mapping):
+            prepared["stages"] = dict(prepared["stages"])
+        return cls(**prepared)
 
 
 def _is_int(value: Any) -> bool:

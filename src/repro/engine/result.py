@@ -28,7 +28,12 @@ from repro.notebook.render import Notebook
 from .errors import FieldError, RequestValidationError
 
 #: Version of the result wire format (bump on incompatible changes).
-RESULT_SCHEMA_VERSION = "1.0"
+#: 1.1 added ``stage_names`` (which registered implementation ran each
+#: stage); 1.0 payloads (which simply lack the field) are still accepted.
+RESULT_SCHEMA_VERSION = "1.1"
+
+#: Result wire-format versions this build can parse.
+SUPPORTED_RESULT_VERSIONS = ("1.0", "1.1")
 
 #: Stage names, in pipeline order.
 STAGE_DERIVE = "derive_spec"
@@ -46,6 +51,7 @@ STATUS_PENDING = "pending"
 STATUS_COMPLETE = "complete"
 STATUS_FAILED = "failed"
 STATUS_SKIPPED = "skipped"
+STATUS_CANCELLED = "cancelled"
 
 
 @dataclass
@@ -114,6 +120,10 @@ class ExploreResult:
     notebook_markdown: str = ""
     insights: list[dict[str, Any]] = field(default_factory=list)
     stages: list[StageStatus] = field(default_factory=list)
+    #: Which registered implementation ran each stage (stage name →
+    #: implementation name), so served results record e.g. that the
+    #: ``atena`` generator produced this session.
+    stage_names: dict[str, str] = field(default_factory=dict)
     warnings: list[str] = field(default_factory=list)
     cache_stats: Optional[dict[str, Any]] = field(default=None, compare=False)
     schema_version: str = RESULT_SCHEMA_VERSION
@@ -164,6 +174,7 @@ class ExploreResult:
             "notebook_markdown": self.notebook_markdown,
             "insights": [dict(insight) for insight in self.insights],
             "stages": [status.to_dict() for status in self.stages],
+            "stage_names": dict(self.stage_names),
             "warnings": list(self.warnings),
             "cache_stats": dict(self.cache_stats) if self.cache_stats is not None else None,
         }
@@ -181,12 +192,13 @@ class ExploreResult:
                 [FieldError(name, "unknown result field") for name in unknown]
             )
         version = payload.get("schema_version", RESULT_SCHEMA_VERSION)
-        if version != RESULT_SCHEMA_VERSION:
+        if version not in SUPPORTED_RESULT_VERSIONS:
             raise RequestValidationError(
                 [
                     FieldError(
                         "schema_version",
-                        f"unsupported version {version!r}; expected {RESULT_SCHEMA_VERSION!r}",
+                        f"unsupported version {version!r}; "
+                        f"supported: {list(SUPPORTED_RESULT_VERSIONS)}",
                     )
                 ]
             )
@@ -205,6 +217,7 @@ class ExploreResult:
             notebook_markdown=payload.get("notebook_markdown", ""),
             insights=[dict(insight) for insight in payload.get("insights", [])],
             stages=[StageStatus.from_dict(status) for status in payload.get("stages", [])],
+            stage_names=dict(payload.get("stage_names", {})),
             warnings=list(payload.get("warnings", [])),
             cache_stats=(
                 dict(payload["cache_stats"])
@@ -232,6 +245,7 @@ _RESULT_FIELDS = frozenset(
         "notebook_markdown",
         "insights",
         "stages",
+        "stage_names",
         "warnings",
         "cache_stats",
     }

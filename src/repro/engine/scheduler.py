@@ -1,0 +1,565 @@
+"""The request scheduler: a bounded queue between callers and the engine.
+
+A :class:`RequestScheduler` turns the in-process :class:`LinxEngine` into a
+serving component.  Callers :meth:`~RequestScheduler.submit` declarative
+requests and get back a **ticket**; worker threads drain the bounded queue
+and drive each request through the engine, recording every
+:class:`~repro.engine.events.ProgressEvent` on its ticket so event streams
+(SSE, websockets, polling) replay and follow live.  Each ticket moves
+through one lifecycle::
+
+    queued ──> running ──> done
+                   │  └──> failed
+                   └─────> cancelled        (queued tickets cancel directly)
+
+Three serving behaviours live here rather than in the engine:
+
+* **Back-pressure** — at most ``max_pending`` tickets may be queued or
+  running; past that, :meth:`submit` raises
+  :class:`~repro.engine.errors.SchedulerFullError` (HTTP 429 upstream).
+* **Deduplication** — a request whose
+  :meth:`~repro.engine.request.ExploreRequest.canonical_hash` matches a
+  live ticket joins that ticket instead of enqueueing duplicate work, and a
+  hash already in the :class:`~repro.engine.store.ResultStore` is served
+  from disk without executing at all (idempotent resubmission).
+* **Timeout / cancellation** — per-ticket deadlines and
+  :meth:`~RequestScheduler.cancel` ride the engine's cooperative
+  checkpoints; a cancelled request yields a ``cancelled`` ticket and never
+  touches the store.
+
+Execution is pluggable: ``workers="thread"`` runs requests on the
+scheduler's own threads over the engine's shared cache;
+``workers="process"`` reuses :func:`~repro.engine.core._process_worker` —
+the same machinery as ``explore_many(workers="process")`` — with worker
+events streamed back over a multiprocessing queue and routed to tickets by
+a drainer thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .core import LinxEngine, _process_worker, drain_progress_queue
+from .errors import RequestCancelledError, SchedulerFullError
+from .events import (
+    EVENT_REQUEST_CANCELLED,
+    EVENT_REQUEST_FAILED,
+    EVENT_REQUEST_FINISHED,
+    EVENT_REQUEST_STARTED,
+    TERMINAL_EVENTS,
+    ProgressEvent,
+)
+from .request import ExploreRequest
+from .result import ExploreResult
+from .store import ResultStore
+
+#: Ticket lifecycle states.
+TICKET_QUEUED = "queued"
+TICKET_RUNNING = "running"
+TICKET_DONE = "done"
+TICKET_FAILED = "failed"
+TICKET_CANCELLED = "cancelled"
+
+#: States in which a ticket consumes queue capacity.
+ACTIVE_STATES = frozenset({TICKET_QUEUED, TICKET_RUNNING})
+#: States a ticket can no longer leave.
+TERMINAL_STATES = frozenset({TICKET_DONE, TICKET_FAILED, TICKET_CANCELLED})
+
+
+@dataclass
+class Ticket:
+    """One scheduled request and everything observed about it."""
+
+    ticket_id: str
+    request: ExploreRequest
+    request_hash: str
+    state: str = TICKET_QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    timeout: Optional[float] = None
+    #: True when this submit joined an already-live identical request.
+    deduplicated: bool = False
+    #: True when the result came from the store without executing.
+    served_from_store: bool = False
+    error: str = ""
+    error_kind: str = ""
+    events: list[ProgressEvent] = field(default_factory=list)
+    result_payload: Optional[dict[str, Any]] = None
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-native status view (the server's ``/requests/<id>`` body)."""
+        return {
+            "ticket": self.ticket_id,
+            "request_id": self.request.request_id,
+            "request_hash": self.request_hash,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "timeout": self.timeout,
+            "deduplicated": self.deduplicated,
+            "served_from_store": self.served_from_store,
+            "error": self.error,
+            "error_kind": self.error_kind,
+            "events_seen": len(self.events),
+        }
+
+
+class RequestScheduler:
+    """Bounded-queue request execution over a :class:`LinxEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine that executes requests.
+    store:
+        Optional persistent :class:`ResultStore`: completed results are
+        written under their canonical request hash (namespaced by the
+        engine's :meth:`~repro.engine.core.LinxEngine.config_fingerprint`,
+        so differently-configured engines sharing one store file never
+        serve each other's results), and submits whose key is already
+        stored are served from disk without executing.
+    max_pending:
+        Queue bound — the maximum number of tickets queued or running at
+        once.  :meth:`submit` raises :class:`SchedulerFullError` beyond it.
+    max_workers:
+        Worker threads draining the queue (= concurrently running
+        requests).
+    workers:
+        ``"thread"`` (default) executes on the scheduler's threads over the
+        engine's shared in-memory cache; ``"process"`` fans each request to
+        a process pool (declaratively-configured engines only) with worker
+        events streamed back to the tickets.
+    default_timeout:
+        Per-request timeout (seconds) applied when :meth:`submit` gets
+        none.  ``None`` means no deadline.
+
+    The scheduler starts its workers immediately; use it as a context
+    manager or call :meth:`shutdown` to stop them.
+    """
+
+    def __init__(
+        self,
+        engine: LinxEngine,
+        *,
+        store: ResultStore | None = None,
+        max_pending: int = 64,
+        max_workers: int = 2,
+        workers: str = "thread",
+        default_timeout: float | None = None,
+    ):
+        if workers not in ("thread", "process"):
+            raise ValueError(f"workers must be 'thread' or 'process', got {workers!r}")
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        if max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        if workers == "process" and engine._custom_stages:
+            raise ValueError(
+                "workers='process' requires a declaratively-configured engine "
+                "(default or registry-named stages, default LLM client and cache)"
+            )
+        self.engine = engine
+        self.store = store
+        # Store rows are namespaced by the engine's declarative config
+        # digest: a store file shared by differently-configured servers
+        # (episode budgets, engine-level stage selection) never serves one
+        # configuration's results for another's requests.
+        self._store_namespace = engine.config_fingerprint()
+        self.max_pending = max_pending
+        self.workers = workers
+        self.default_timeout = default_timeout
+        self._lock = threading.RLock()
+        self._condition = threading.Condition(self._lock)
+        self._queue: deque[str] = deque()
+        self._tickets: dict[str, Ticket] = {}
+        self._live_by_hash: dict[str, str] = {}
+        self._ticket_counter = 0
+        self._shutdown = False
+        self._pool = None
+        self._manager = None
+        self._progress_queue = None
+        self._drainer: Optional[threading.Thread] = None
+        if workers == "process":
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=max_workers)
+            self._manager = multiprocessing.Manager()
+            self._progress_queue = self._manager.Queue()
+            self._drainer = threading.Thread(
+                target=drain_progress_queue,
+                args=(self._progress_queue, self._route_event),
+                daemon=True,
+            )
+            self._drainer.start()
+        self._threads = [
+            threading.Thread(target=self._worker_loop, daemon=True, name=f"linx-sched-{i}")
+            for i in range(max_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission --------------------------------------------------------------------
+    def submit(
+        self, request: ExploreRequest, *, timeout: float | None = None
+    ) -> Ticket:
+        """Queue *request*; returns its (possibly pre-existing) ticket.
+
+        Validation happens up front (raising
+        :class:`~repro.engine.errors.RequestValidationError` before a ticket
+        exists).  Identical live requests are joined, stored results are
+        served immediately, and a full queue raises
+        :class:`SchedulerFullError`.
+
+        A join keeps the *original* ticket's deadline — the work is shared,
+        so a joining caller's ``timeout`` cannot shorten it (check the
+        returned ticket's ``timeout``/``deduplicated`` fields and
+        :meth:`cancel` explicitly if a bounded wait matters).
+        """
+        request.validate()
+        request_hash = request.canonical_hash()
+        # Join a live identical ticket before touching the store: a burst
+        # of identical resubmissions must cost one dict lookup, not one
+        # sqlite read each.
+        with self._condition:
+            if self._shutdown:
+                raise RuntimeError("scheduler is shut down")
+            live = self._live_by_hash.get(request_hash)
+            if live is not None:
+                ticket = self._tickets[live]
+                if ticket.state in ACTIVE_STATES:
+                    ticket.deduplicated = True
+                    return ticket
+        # The store lookup (a sqlite read + JSON parse of a full result)
+        # happens *outside* the scheduler lock so a burst of submits never
+        # stalls running requests' event recording.  The races this opens —
+        # an identical request enqueued, or completing and writing the
+        # store, between these two critical sections — are benign: the
+        # dedup re-check below catches the former, and _execute's own
+        # store re-check catches the latter.
+        stored = (
+            self.store.get_payload(self._store_key(request_hash))
+            if self.store is not None
+            else None
+        )
+        with self._condition:
+            if self._shutdown:
+                raise RuntimeError("scheduler is shut down")
+            live = self._live_by_hash.get(request_hash)
+            if live is not None:
+                ticket = self._tickets[live]
+                if ticket.state in ACTIVE_STATES:
+                    ticket.deduplicated = True
+                    return ticket
+            ticket = self._new_ticket(request, request_hash, timeout)
+            if stored is not None:
+                self._finish_from_store(ticket, stored)
+                self._tickets[ticket.ticket_id] = ticket
+                return ticket
+            active = sum(
+                1 for t in self._tickets.values() if t.state in ACTIVE_STATES
+            )
+            if active >= self.max_pending:
+                raise SchedulerFullError(active, self.max_pending)
+            self._tickets[ticket.ticket_id] = ticket
+            self._live_by_hash[request_hash] = ticket.ticket_id
+            self._queue.append(ticket.ticket_id)
+            self._condition.notify_all()
+            return ticket
+
+    def _store_key(self, request_hash: str) -> str:
+        """The namespaced key *request_hash* is stored under."""
+        return f"{self._store_namespace}:{request_hash}"
+
+    def _new_ticket(
+        self, request: ExploreRequest, request_hash: str, timeout: float | None
+    ) -> Ticket:
+        self._ticket_counter += 1
+        return Ticket(
+            ticket_id=f"t-{self._ticket_counter}",
+            request=request,
+            request_hash=request_hash,
+            timeout=timeout if timeout is not None else self.default_timeout,
+        )
+
+    def _finish_from_store(self, ticket: Ticket, payload: dict[str, Any]) -> None:
+        """Complete *ticket* directly from a stored payload (no execution)."""
+        now = time.time()
+        ticket.state = TICKET_DONE
+        ticket.served_from_store = True
+        ticket.started_at = now
+        ticket.finished_at = now
+        ticket.result_payload = payload
+        label = ticket.request.request_id or ticket.ticket_id
+        ticket.events.append(
+            ProgressEvent(label, EVENT_REQUEST_STARTED, "", {"served_from_store": True})
+        )
+        ticket.events.append(
+            ProgressEvent(label, EVENT_REQUEST_FINISHED, "", {"served_from_store": True})
+        )
+        self._condition.notify_all()
+
+    # -- inspection --------------------------------------------------------------------
+    def ticket(self, ticket_id: str) -> Ticket:
+        """The ticket under *ticket_id* (KeyError when unknown)."""
+        with self._lock:
+            return self._tickets[ticket_id]
+
+    def status(self, ticket_id: str) -> dict[str, Any]:
+        """The JSON-native status snapshot of *ticket_id*."""
+        with self._lock:
+            return self._tickets[ticket_id].snapshot()
+
+    def result_payload(self, ticket_id: str) -> Optional[dict[str, Any]]:
+        """The serialized result of a ``done`` ticket, else ``None``."""
+        with self._lock:
+            return self._tickets[ticket_id].result_payload
+
+    def wait(self, ticket_id: str, timeout: float | None = None) -> dict[str, Any]:
+        """Block until *ticket_id* reaches a terminal state; returns its snapshot.
+
+        Raises :class:`TimeoutError` if the ticket is still live after
+        *timeout* seconds.
+        """
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        with self._condition:
+            while True:
+                ticket = self._tickets[ticket_id]
+                if ticket.state in TERMINAL_STATES:
+                    return ticket.snapshot()
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"ticket {ticket_id} still {ticket.state} after {timeout}s"
+                        )
+                self._condition.wait(timeout=remaining)
+
+    def events_since(
+        self, ticket_id: str, cursor: int = 0, timeout: float | None = None
+    ) -> tuple[list[ProgressEvent], int, bool]:
+        """Events of *ticket_id* from *cursor* on, blocking up to *timeout*.
+
+        Returns ``(events, next_cursor, done)``: *done* is True once the
+        ticket is terminal **and** every event has been delivered — the
+        signal for an SSE handler to close the stream.  With no new events
+        before *timeout*, returns ``([], cursor, done)`` (a heartbeat
+        opportunity).
+        """
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        with self._condition:
+            while True:
+                ticket = self._tickets[ticket_id]
+                if len(ticket.events) > cursor:
+                    events = list(ticket.events[cursor:])
+                    next_cursor = len(ticket.events)
+                    done = ticket.state in TERMINAL_STATES
+                    return events, next_cursor, done
+                if ticket.state in TERMINAL_STATES:
+                    return [], cursor, True
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return [], cursor, False
+                self._condition.wait(timeout=remaining)
+
+    def describe(self) -> dict[str, Any]:
+        """Aggregate scheduler telemetry (the server's ``/stats`` section)."""
+        with self._lock:
+            states: dict[str, int] = {}
+            for ticket in self._tickets.values():
+                states[ticket.state] = states.get(ticket.state, 0) + 1
+            return {
+                "workers": self.workers,
+                "max_pending": self.max_pending,
+                "queued": len(self._queue),
+                "tickets": len(self._tickets),
+                "states": states,
+                "default_timeout": self.default_timeout,
+                "shutdown": self._shutdown,
+            }
+
+    # -- cancellation ------------------------------------------------------------------
+    def cancel(self, ticket_id: str) -> bool:
+        """Request cancellation of *ticket_id*; True when it will take effect.
+
+        Queued tickets cancel immediately.  Running tickets cancel
+        cooperatively at the engine's next checkpoint (thread mode only —
+        a request already running in a worker *process* cannot be reached
+        and reports False; its timeout still applies).  Terminal tickets
+        report False.
+        """
+        with self._condition:
+            ticket = self._tickets[ticket_id]
+            if ticket.state == TICKET_QUEUED:
+                self._finalise(ticket, TICKET_CANCELLED, "cancelled before start", "RequestCancelledError")
+                return True
+            if ticket.state == TICKET_RUNNING:
+                ticket.cancel_event.set()
+                return self.workers == "thread"
+            return False
+
+    # -- execution ---------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._condition:
+                while not self._queue and not self._shutdown:
+                    self._condition.wait()
+                if self._shutdown and not self._queue:
+                    return
+                ticket = self._tickets[self._queue.popleft()]
+                if ticket.state != TICKET_QUEUED:
+                    continue  # cancelled while queued
+                ticket.state = TICKET_RUNNING
+                ticket.started_at = time.time()
+            self._execute(ticket)
+
+    def _execute(self, ticket: Ticket) -> None:
+        # A sibling scheduler (or a previous run) may have stored this hash
+        # while the ticket sat in the queue: serve idempotently, never
+        # re-execute.
+        if self.store is not None:
+            payload = self.store.get_payload(self._store_key(ticket.request_hash))
+            if payload is not None:
+                with self._condition:
+                    self._finish_from_store(ticket, payload)
+                    self._live_by_hash.pop(ticket.request_hash, None)
+                return
+        try:
+            if self.workers == "thread":
+                result = self.engine.explore(
+                    ticket.request,
+                    observer=lambda event: self._record_event(ticket, event),
+                    timeout=ticket.timeout,
+                    cancel_event=ticket.cancel_event,
+                    _label=ticket.ticket_id,
+                )
+                payload = result.to_dict()
+            else:
+                future = self._pool.submit(
+                    _process_worker,
+                    ticket.request.to_dict(),
+                    self.engine.worker_spec(),
+                    ticket.ticket_id,
+                    self._progress_queue,
+                    ticket.timeout,
+                )
+                payload = future.result()
+                result = ExploreResult.from_dict(payload)
+                # The worker's events travel asynchronously through the
+                # manager queue; wait for its terminal request_finished to
+                # be routed before the ticket turns terminal, so an SSE
+                # stream never closes with the event tail undelivered.
+                self._await_terminal_event(ticket)
+        except RequestCancelledError as exc:
+            self._finalise(ticket, TICKET_CANCELLED, str(exc), type(exc).__name__)
+            return
+        except Exception as exc:  # noqa: BLE001 — every failure becomes a ticket state
+            self._finalise(ticket, TICKET_FAILED, str(exc), type(exc).__name__)
+            return
+        if self.store is not None:
+            try:
+                self.store.put(self._store_key(ticket.request_hash), result)
+            except Exception as exc:  # noqa: BLE001
+                self._finalise(
+                    ticket, TICKET_FAILED, f"result store write failed: {exc}",
+                    type(exc).__name__,
+                )
+                return
+        with self._condition:
+            ticket.state = TICKET_DONE
+            ticket.finished_at = time.time()
+            ticket.result_payload = payload
+            self._live_by_hash.pop(ticket.request_hash, None)
+            self._condition.notify_all()
+
+    def _await_terminal_event(self, ticket: Ticket, timeout: float = 30.0) -> None:
+        """Block until a terminal event has been routed onto *ticket*.
+
+        Bounded: if the drainer died or the queue broke, proceed after
+        *timeout* rather than wedge the worker thread — consumers then see
+        a terminal ticket with a truncated event log, which is the
+        degraded-but-safe outcome.
+        """
+        deadline = time.monotonic() + timeout
+        with self._condition:
+            while not any(event.kind in TERMINAL_EVENTS for event in ticket.events):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                self._condition.wait(timeout=remaining)
+
+    def _finalise(self, ticket: Ticket, state: str, error: str, error_kind: str) -> None:
+        """Move *ticket* to a non-done terminal state with a closing event."""
+        kind = (
+            EVENT_REQUEST_CANCELLED if state == TICKET_CANCELLED else EVENT_REQUEST_FAILED
+        )
+        label = ticket.request.request_id or ticket.ticket_id
+        with self._condition:
+            ticket.state = state
+            ticket.finished_at = time.time()
+            ticket.error = error
+            ticket.error_kind = error_kind
+            ticket.events.append(ProgressEvent(label, kind, "", {"error": error}))
+            self._live_by_hash.pop(ticket.request_hash, None)
+            self._condition.notify_all()
+
+    def _record_event(self, ticket: Ticket, event: ProgressEvent) -> None:
+        with self._condition:
+            ticket.events.append(event)
+            self._condition.notify_all()
+
+    def _route_event(self, label: str, event: ProgressEvent) -> None:
+        """Route a process-worker event to its ticket (drainer thread)."""
+        with self._condition:
+            ticket = self._tickets.get(label)
+            if ticket is not None:
+                ticket.events.append(event)
+                self._condition.notify_all()
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work, cancel queued tickets, stop the workers.
+
+        Running requests finish (``wait=True`` blocks for them); queued
+        tickets move to ``cancelled``.
+        """
+        with self._condition:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            for ticket_id in list(self._queue):
+                ticket = self._tickets[ticket_id]
+                if ticket.state == TICKET_QUEUED:
+                    self._finalise(
+                        ticket, TICKET_CANCELLED, "scheduler shut down",
+                        "RequestCancelledError",
+                    )
+            self._queue.clear()
+            self._condition.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=300)
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+        if self._progress_queue is not None:
+            self._progress_queue.put(None)
+            if self._drainer is not None:
+                self._drainer.join(timeout=30)
+        if self._manager is not None:
+            self._manager.shutdown()
+
+    def __enter__(self) -> "RequestScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -36,7 +36,18 @@ from repro.nl2ldx.pipeline import ChainedPipeline
 from repro.notebook.insights import Insight, extract_insights
 from repro.notebook.render import Notebook, render_notebook
 
+from .registry import (
+    KIND_INSIGHT_EXTRACTOR,
+    KIND_NOTEBOOK_RENDERER,
+    KIND_SESSION_GENERATOR,
+    KIND_SPEC_DERIVER,
+    StageContext,
+    register_stage_factory,
+)
+
 #: Episode-tick callback: (episode index, episode return, session so far).
+#: Raising from the callback aborts generation and propagates out of the
+#: stage — the engine's cooperative cancellation checkpoints rely on this.
 EpisodeCallback = Callable[[int, float, ExplorationSession], None]
 
 
@@ -233,3 +244,40 @@ class DefaultInsightExtractor:
 
     def extract(self, session: ExplorationSession) -> list[Insight]:
         return extract_insights(session, max_insights=self.max_insights)
+
+
+# -- registry entries ----------------------------------------------------------------
+# Each built-in registers under its ``name`` so requests and engine specs can
+# select it declaratively (``stages={"session_generator": "atena"}``) — in
+# thread *and* process modes, since a name rides in a picklable spec where a
+# live stage object cannot.
+
+@register_stage_factory(KIND_SPEC_DERIVER, ChainedSpecDeriver.name)
+def _build_chained_deriver(context: StageContext) -> ChainedSpecDeriver:
+    return ChainedSpecDeriver(context.llm_client, context.fewshot_bank)
+
+
+@register_stage_factory(KIND_SESSION_GENERATOR, CdrlSessionGenerator.name)
+def _build_cdrl_generator(context: StageContext) -> CdrlSessionGenerator:
+    return CdrlSessionGenerator(context.cdrl_config)
+
+
+@register_stage_factory(KIND_SESSION_GENERATOR, AtenaSessionGenerator.name)
+def _build_atena_generator(context: StageContext) -> AtenaSessionGenerator:
+    # ATENA inherits the engine's episode budget and seed so swapping the
+    # generator by name changes the algorithm, not the training budget.
+    return AtenaSessionGenerator(
+        AtenaConfig(
+            episodes=context.cdrl_config.episodes, seed=context.cdrl_config.seed
+        )
+    )
+
+
+@register_stage_factory(KIND_NOTEBOOK_RENDERER, MarkdownNotebookRenderer.name)
+def _build_markdown_renderer(context: StageContext) -> MarkdownNotebookRenderer:
+    return MarkdownNotebookRenderer()
+
+
+@register_stage_factory(KIND_INSIGHT_EXTRACTOR, DefaultInsightExtractor.name)
+def _build_mechanical_extractor(context: StageContext) -> DefaultInsightExtractor:
+    return DefaultInsightExtractor()

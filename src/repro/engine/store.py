@@ -1,0 +1,220 @@
+"""A persistent, sqlite-backed store of explore results keyed by request hash.
+
+The scheduler executes a request at most once: results land here under
+:meth:`ExploreRequest.canonical_hash`, so an identical resubmission — same
+goal, dataset, seeds, episode budget and stage selection — is served from
+disk byte-for-byte instead of re-training, and
+:meth:`ExploreResult.rebuild_session` turns the stored operation trace back
+into a live session for warm replay.
+
+Durability follows :class:`~repro.explore.diskcache.DiskCacheTier` exactly:
+WAL journaling for concurrent readers beside a writer, one transaction per
+insert (a cancelled or crashed request can never leave a half-written row),
+and a schema-version row that drops the store *wholesale* on mismatch —
+stale formats are discarded, never misread.  Payloads are the canonical
+JSON wire format (:meth:`ExploreResult.to_dict`), so the store doubles as a
+replay log that any JSON consumer can read.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+from .result import ExploreResult
+
+#: Version of the on-disk layout (sqlite schema + result payload format).
+#: Bump on any incompatible change: a mismatching store is dropped and
+#: recreated on open, mirroring ``DiskCacheTier`` semantics.
+STORE_SCHEMA_VERSION = 1
+
+
+class ResultStore:
+    """Persistent mapping of canonical request hash → serialized result.
+
+    All operations are guarded by an in-process lock so one store instance
+    can be shared across the scheduler's worker threads; WAL journaling
+    handles concurrent *processes* on the same file.
+
+    Parameters
+    ----------
+    path:
+        The sqlite file (parent directories are created).  Conventionally
+        ``<dir>/results.sqlite``.
+    timeout:
+        Seconds a writer waits on a locked database before giving up.
+    """
+
+    def __init__(self, path: str | Path, timeout: float = 30.0):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(
+            str(self.path), timeout=timeout, check_same_thread=False
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        #: Lookups served / fallen through / results written.
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        #: True when a version mismatch dropped a pre-existing store.
+        self.invalidated = False
+        self._ensure_schema()
+
+    # -- schema -----------------------------------------------------------------------
+    def _ensure_schema(self) -> None:
+        with self._lock, self._conn:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is not None and row[0] != str(STORE_SCHEMA_VERSION):
+                # A stale payload format: drop everything, never attempt to
+                # reinterpret old rows.
+                self._conn.execute("DROP TABLE IF EXISTS results")
+                self.invalidated = True
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                " request_hash TEXT PRIMARY KEY,"
+                " request_id TEXT NOT NULL,"
+                " dataset TEXT NOT NULL,"
+                " payload TEXT NOT NULL,"
+                " created_at REAL NOT NULL)"
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(STORE_SCHEMA_VERSION),),
+            )
+
+    # -- lookups ----------------------------------------------------------------------
+    def get_payload(self, request_hash: str) -> Optional[dict[str, Any]]:
+        """The stored result dict under *request_hash*, or ``None``.
+
+        The raw wire-format payload — what a serving layer returns without
+        re-materialising an :class:`ExploreResult`.  An unreadable payload
+        behaves like a miss and is removed so it cannot keep failing.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM results WHERE request_hash = ?", (request_hash,)
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                return None
+        try:
+            payload = json.loads(row[0])
+            if not isinstance(payload, dict):
+                raise ValueError("result payload must be a JSON object")
+        except Exception:
+            with self._lock, self._conn:
+                self._conn.execute(
+                    "DELETE FROM results WHERE request_hash = ?", (request_hash,)
+                )
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return payload
+
+    def get(self, request_hash: str) -> Optional[ExploreResult]:
+        """The stored :class:`ExploreResult` under *request_hash*, or ``None``."""
+        payload = self.get_payload(request_hash)
+        if payload is None:
+            return None
+        try:
+            return ExploreResult.from_dict(payload)
+        except Exception:
+            # Parseable JSON that no longer matches the result schema (e.g.
+            # written by a newer minor version): treat as a miss.
+            with self._lock:
+                self.hits -= 1
+                self.misses += 1
+            return None
+
+    def contains(self, request_hash: str) -> bool:
+        """Whether a result is stored under *request_hash* (no counter bump)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE request_hash = ?", (request_hash,)
+            ).fetchone()
+        return row is not None
+
+    # -- writes -----------------------------------------------------------------------
+    def put(self, request_hash: str, result: ExploreResult) -> None:
+        """Persist *result* under *request_hash* in one transaction.
+
+        ``INSERT OR REPLACE`` keeps the store idempotent under concurrent
+        executions of the same request (last writer wins; both wrote
+        identical work).
+        """
+        payload = json.dumps(result.to_dict())
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results"
+                " (request_hash, request_id, dataset, payload, created_at)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (
+                    request_hash,
+                    str(result.request.get("request_id", "")),
+                    result.dataset_name,
+                    payload,
+                    time.time(),
+                ),
+            )
+            self.writes += 1
+
+    def delete(self, request_hash: str) -> bool:
+        """Remove the row under *request_hash*; True when one existed."""
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE request_hash = ?", (request_hash,)
+            )
+            return cursor.rowcount > 0
+
+    # -- maintenance ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return int(
+                self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+            )
+
+    def request_hashes(self) -> list[str]:
+        """Every stored hash, oldest first (the replay/audit index)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT request_hash FROM results ORDER BY created_at"
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def clear(self) -> None:
+        """Drop every stored result (the schema version row stays)."""
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM results")
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "path": str(self.path),
+            "schema_version": STORE_SCHEMA_VERSION,
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "invalidated": self.invalidated,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

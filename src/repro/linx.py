@@ -11,6 +11,9 @@ and serializable :class:`~repro.engine.result.ExploreResult` responses::
     engine = LinxEngine()
     result = engine.explore(ExploreRequest(goal="...", dataset="netflix"))
 
+— or, served over HTTP with a scheduler, result store and SSE progress, the
+:mod:`repro.engine.server` front-end (``python -m repro.engine.server``).
+
 The wrapper's behavioural additions over the original facade: the permissive
 fallback that replaces unparseable specifications is now *surfaced*
 (:attr:`LinxOutput.derivation_fallback` plus a warning) instead of silent,
@@ -73,9 +76,13 @@ class Linx:
         llm_client: LLMClient | None = None,
         cdrl_config: CdrlConfig | None = None,
         engine: LinxEngine | None = None,
+        stages: dict[str, str] | None = None,
     ):
+        """``stages`` selects pipeline stages by registered name (e.g.
+        ``{"session_generator": "atena"}``); see :mod:`repro.engine.registry`.
+        Ignored when an explicit ``engine`` is supplied."""
         self.engine = engine or LinxEngine(
-            llm_client=llm_client, cdrl_config=cdrl_config
+            llm_client=llm_client, cdrl_config=cdrl_config, stages=stages
         )
         self.llm_client = self.engine.llm_client
         self.cdrl_config = self.engine.cdrl_config

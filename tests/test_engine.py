@@ -343,6 +343,50 @@ class TestProgressEvents:
         assert labels == {"request-0", "request-1"}
 
 
+class TestProcessEventStreaming:
+    """Process workers stream full event sequences back to the parent."""
+
+    def test_process_batch_streams_episode_events(self):
+        engine = LinxEngine(cdrl_config=CdrlConfig(episodes=5))
+        events = []
+        requests = [
+            ExploreRequest(
+                goal="compare countries",
+                dataset="netflix",
+                num_rows=100,
+                ldx_text="ROOT CHILDREN <A1>\nA1 LIKE [G,.*]",
+                episodes=5,
+                seed=seed,
+                request_id=f"proc-{seed}",
+            )
+            for seed in (0, 1)
+        ]
+        results = engine.explore_many(
+            requests, workers="process", max_workers=2, observer=events.append
+        )
+        assert len(results) == 2
+        for request in requests:
+            kinds = [
+                event.kind for event in events
+                if event.request_id == request.request_id
+            ]
+            # Full per-request ordering survives the process boundary,
+            # episode ticks included (previously request-granularity only).
+            assert kinds[0] == EVENT_REQUEST_STARTED
+            assert kinds[-1] == EVENT_REQUEST_FINISHED
+            assert EVENT_EPISODE in kinds
+            assert kinds.index((EVENT_STAGE_STARTED)) < kinds.index(EVENT_EPISODE)
+
+    def test_process_batch_without_observer_skips_queue(self):
+        engine = LinxEngine(cdrl_config=CdrlConfig(episodes=5))
+        request = ExploreRequest(
+            goal="g", dataset="netflix", num_rows=100,
+            ldx_text="ROOT CHILDREN <A1>\nA1 LIKE [G,.*]", episodes=5, seed=0,
+        )
+        [result] = engine.explore_many([request], workers="process", max_workers=1)
+        assert result.operations
+
+
 class StubGenerator:
     """Minimal SessionGenerator plug-in for stage-protocol tests."""
 

@@ -1,0 +1,282 @@
+"""Tests for the asyncio HTTP front-end (routes, SSE, error mapping)."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.engine import (
+    ExploreRequest,
+    ExploreResult,
+    LinxEngine,
+    RequestScheduler,
+    ResultStore,
+    SessionOutcome,
+)
+from repro.engine.serve_smoke import _call, _stream_events
+from repro.engine.server import ServerThread
+from repro.explore import session_from_operations
+from repro.explore.operations import FilterOperation, GroupAggOperation
+
+LDX = "ROOT CHILDREN <A1>\nA1 LIKE [G,.*]"
+
+
+class StubGenerator:
+    name = "stub"
+
+    def __init__(self, release: threading.Event | None = None):
+        self.release = release
+
+    def generate(self, table, ldx_text, *, episodes=None, seed=None, cache=None,
+                 on_episode=None):
+        if on_episode is not None:
+            on_episode(0, 1.0, None)
+        if self.release is not None:
+            assert self.release.wait(30), "release event never set"
+        session = session_from_operations(
+            table,
+            [
+                FilterOperation("country", "eq", "India"),
+                GroupAggOperation("type", "count", "type"),
+            ],
+            cache=cache,
+        )
+        return SessionOutcome(session=session, episodes_trained=1)
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A running server over a stub engine + store; yields (port, store)."""
+    store = ResultStore(tmp_path / "results.sqlite")
+    scheduler = RequestScheduler(
+        LinxEngine(session_generator=StubGenerator()), store=store, max_workers=1
+    )
+    with ServerThread(scheduler) as hosted:
+        yield hosted.port, store
+    scheduler.shutdown()
+    store.close()
+
+
+def _payload(**overrides) -> dict:
+    request = dict(goal="explore", dataset="netflix", num_rows=60, ldx_text=LDX)
+    request.update(overrides)
+    return request
+
+
+class TestRoutes:
+    def test_healthz(self, served):
+        port, _ = served
+        status, body = _call(port, "GET", "/healthz")
+        assert (status, body) == (200, {"status": "ok"})
+
+    def test_stages_lists_registry(self, served):
+        port, _ = served
+        status, body = _call(port, "GET", "/stages")
+        assert status == 200
+        assert "cdrl" in body["stages"]["session_generator"]
+        assert "atena" in body["stages"]["session_generator"]
+
+    def test_unknown_route_404(self, served):
+        port, _ = served
+        status, _ = _call(port, "GET", "/no/such/route")
+        assert status == 404
+
+    def test_wrong_method_on_known_route_405(self, served):
+        port, _ = served
+        status, body = _call(port, "GET", "/requests")
+        assert status == 405
+        assert "POST" in body["error"]
+        status, _ = _call(port, "POST", "/healthz")
+        assert status == 405
+
+    def test_negative_content_length_400(self, served):
+        port, _ = served
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            connection.putrequest("POST", "/requests", skip_accept_encoding=True)
+            connection.putheader("Content-Length", "-5")
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 400
+        finally:
+            connection.close()
+
+    def test_unknown_ticket_404(self, served):
+        port, _ = served
+        for path in ("/requests/t-999", "/requests/t-999/result", "/requests/t-999/events"):
+            status, _ = _call(port, "GET", path)
+            assert status == 404, path
+
+    def test_stats_exposes_all_tiers(self, served):
+        port, _ = served
+        status, body = _call(port, "GET", "/stats")
+        assert status == 200
+        assert {"scheduler", "engine_cache", "store"} <= set(body)
+
+
+class TestSubmitAndResult:
+    def test_submit_runs_and_serves_result(self, served):
+        port, store = served
+        status, submitted = _call(port, "POST", "/requests", _payload(request_id="r1"))
+        assert status == 202
+        ticket = submitted["ticket"]
+        assert submitted["state"] in ("queued", "running")
+        events = _stream_events(port, ticket, timeout=60)
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "request_started"
+        assert kinds[-1] == "request_finished"
+        assert "episode" in kinds
+        status, body = _call(port, "GET", f"/requests/{ticket}/result")
+        assert status == 200
+        result = ExploreResult.from_dict(body["result"])
+        assert result.operations == [
+            ["F", "country", "eq", "India"],
+            ["G", "type", "count", "type"],
+        ]
+        assert len(store) == 1
+
+    def test_identical_resubmission_served_from_store(self, served):
+        port, _ = served
+        status, first = _call(port, "POST", "/requests", _payload())
+        assert status == 202
+        _stream_events(port, first["ticket"], timeout=60)  # run to completion
+        status, second = _call(port, "POST", "/requests", _payload())
+        assert status == 202
+        assert second["served_from_store"] is True
+        assert second["state"] == "done"
+        assert second["ticket"] != first["ticket"]
+        _, first_result = _call(port, "GET", f"/requests/{first['ticket']}/result")
+        _, second_result = _call(port, "GET", f"/requests/{second['ticket']}/result")
+        assert first_result["result"] == second_result["result"]
+
+    def test_result_of_live_ticket_is_202(self, tmp_path):
+        release = threading.Event()
+        scheduler = RequestScheduler(
+            LinxEngine(session_generator=StubGenerator(release=release)), max_workers=1
+        )
+        try:
+            with ServerThread(scheduler) as hosted:
+                status, submitted = _call(hosted.port, "POST", "/requests", _payload())
+                assert status == 202
+                status, body = _call(
+                    hosted.port, "GET", f"/requests/{submitted['ticket']}/result"
+                )
+                assert status == 202
+                assert body["state"] in ("queued", "running")
+                release.set()
+        finally:
+            release.set()
+            scheduler.shutdown()
+
+
+class TestErrorMapping:
+    def test_invalid_json_body_400(self, served):
+        port, _ = served
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            connection.request("POST", "/requests", body="{not json",
+                               headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            assert response.status == 400
+            assert "invalid JSON" in json.loads(response.read())["error"]
+        finally:
+            connection.close()
+
+    def test_validation_errors_are_structured_400(self, served):
+        port, _ = served
+        status, body = _call(port, "POST", "/requests", _payload(dataset="nope"))
+        assert status == 400
+        assert body["errors"][0]["field"] == "dataset"
+
+    def test_unknown_request_field_400(self, served):
+        port, _ = served
+        status, body = _call(port, "POST", "/requests", _payload(bogus=1))
+        assert status == 400
+        assert body["errors"][0]["field"] == "bogus"
+
+    def test_full_queue_maps_to_429(self, tmp_path):
+        release = threading.Event()
+        scheduler = RequestScheduler(
+            LinxEngine(session_generator=StubGenerator(release=release)),
+            max_workers=1,
+            max_pending=1,
+        )
+        try:
+            with ServerThread(scheduler) as hosted:
+                status, _ = _call(hosted.port, "POST", "/requests", _payload(seed=1))
+                assert status == 202
+                status, body = _call(hosted.port, "POST", "/requests", _payload(seed=2))
+                assert status == 429
+                assert "full" in body["error"]
+                release.set()
+        finally:
+            release.set()
+            scheduler.shutdown()
+
+    def test_failed_request_result_is_409(self, tmp_path):
+        class Exploding:
+            name = "boom"
+
+            def generate(self, table, ldx_text, **kwargs):
+                raise RuntimeError("kaput")
+
+        scheduler = RequestScheduler(
+            LinxEngine(session_generator=Exploding()), max_workers=1
+        )
+        try:
+            with ServerThread(scheduler) as hosted:
+                status, submitted = _call(hosted.port, "POST", "/requests", _payload())
+                assert status == 202
+                events = _stream_events(hosted.port, submitted["ticket"], timeout=60)
+                assert events[-1]["kind"] == "request_failed"
+                status, body = _call(
+                    hosted.port, "GET", f"/requests/{submitted['ticket']}/result"
+                )
+                assert status == 409
+                assert body["state"] == "failed"
+                assert "kaput" in body["error"]
+        finally:
+            scheduler.shutdown()
+
+
+class TestCancelEndpoint:
+    def test_cancel_queued_request_over_http(self, tmp_path):
+        release = threading.Event()
+        scheduler = RequestScheduler(
+            LinxEngine(session_generator=StubGenerator(release=release)), max_workers=1
+        )
+        try:
+            with ServerThread(scheduler) as hosted:
+                _call(hosted.port, "POST", "/requests", _payload(seed=1))
+                status, queued = _call(hosted.port, "POST", "/requests", _payload(seed=2))
+                assert status == 202
+                status, body = _call(
+                    hosted.port, "POST", f"/requests/{queued['ticket']}/cancel"
+                )
+                assert status == 202
+                assert body["cancel_effective"] is True
+                assert body["state"] == "cancelled"
+                events = _stream_events(hosted.port, queued["ticket"], timeout=30)
+                assert events[-1]["kind"] == "request_cancelled"
+                release.set()
+        finally:
+            release.set()
+            scheduler.shutdown()
+
+
+class TestSSEFraming:
+    def test_event_stream_replays_for_finished_ticket(self, served):
+        """A consumer attaching after completion still gets the full log."""
+        port, _ = served
+        status, submitted = _call(port, "POST", "/requests", _payload())
+        ticket = submitted["ticket"]
+        live = _stream_events(port, ticket, timeout=60)
+        replayed = _stream_events(port, ticket, timeout=30)
+        assert [event["kind"] for event in replayed] == [
+            event["kind"] for event in live
+        ]
+        assert all(set(event) == {"request_id", "kind", "stage", "payload"}
+                   for event in replayed)
