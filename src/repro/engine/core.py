@@ -735,18 +735,26 @@ class LinxEngine:
         )
         return value
 
-    def _cache_delta(self, counters_before: tuple[int, int, int]) -> dict:
+    def _cache_delta(self, counters_before: tuple[int, int, int, int, int]) -> dict:
         """Per-request cache counters (approximate under concurrent batches)."""
-        hits_before, misses_before, evictions_before = counters_before
-        hits_after, misses_after, evictions_after = self.cache.snapshot_counters()
+        hits_before, misses_before, evictions_before, plan_hits_before, fusions_before = (
+            counters_before
+        )
+        hits_after, misses_after, evictions_after, plan_hits_after, fusions_after = (
+            self.cache.snapshot_counters()
+        )
         hits = hits_after - hits_before
         misses = misses_after - misses_before
+        plan_hits = plan_hits_after - plan_hits_before
         lookups = hits + misses
         return {
             "hits": hits,
             "misses": misses,
             "evictions": evictions_after - evictions_before,
             "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            "plan_hits": plan_hits,
+            "plan_hit_rate": round(plan_hits / lookups, 4) if lookups else 0.0,
+            "fusion_count": fusions_after - fusions_before,
             "entries": len(self.cache),
             "cached_rows": self.cache.cached_rows,
         }

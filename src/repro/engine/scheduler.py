@@ -91,6 +91,11 @@ class Ticket:
     events: list[ProgressEvent] = field(default_factory=list)
     result_payload: Optional[dict[str, Any]] = None
     cancel_event: threading.Event = field(default_factory=threading.Event)
+    #: Point-in-time :meth:`snapshot` taken under the scheduler lock when the
+    #: submission was accepted.  The server's POST response uses this instead
+    #: of re-reading the live state, which a fast worker may already have
+    #: advanced (a fresh submission must report "queued", not race to "done").
+    submit_snapshot: dict[str, Any] = field(default_factory=dict)
 
     def snapshot(self) -> dict[str, Any]:
         """A JSON-native status view (the server's ``/requests/<id>`` body)."""
@@ -236,6 +241,7 @@ class RequestScheduler:
                 ticket = self._tickets[live]
                 if ticket.state in ACTIVE_STATES:
                     ticket.deduplicated = True
+                    ticket.submit_snapshot = ticket.snapshot()
                     return ticket
         # The store lookup (a sqlite read + JSON parse of a full result)
         # happens *outside* the scheduler lock so a burst of submits never
@@ -257,11 +263,13 @@ class RequestScheduler:
                 ticket = self._tickets[live]
                 if ticket.state in ACTIVE_STATES:
                     ticket.deduplicated = True
+                    ticket.submit_snapshot = ticket.snapshot()
                     return ticket
             ticket = self._new_ticket(request, request_hash, timeout)
             if stored is not None:
                 self._finish_from_store(ticket, stored)
                 self._tickets[ticket.ticket_id] = ticket
+                ticket.submit_snapshot = ticket.snapshot()
                 return ticket
             active = sum(
                 1 for t in self._tickets.values() if t.state in ACTIVE_STATES
@@ -271,6 +279,7 @@ class RequestScheduler:
             self._tickets[ticket.ticket_id] = ticket
             self._live_by_hash[request_hash] = ticket.ticket_id
             self._queue.append(ticket.ticket_id)
+            ticket.submit_snapshot = ticket.snapshot()
             self._condition.notify_all()
             return ticket
 

@@ -164,16 +164,31 @@ def main() -> int:
                 status, stats = _call(port, "GET", "/stats")
                 assert stats["store"]["writes"] == 2
                 assert stats["store"]["hits"] >= 1
+                engine_cache = stats["engine_cache"]
+                assert "plan_entries" in engine_cache, engine_cache
+                assert "plan_hits" in engine_cache, engine_cache
+                for result in results:
+                    cache_stats = result["cache_stats"]
+                    assert "plan_hits" in cache_stats, cache_stats
+                    assert "plan_hit_rate" in cache_stats, cache_stats
+                    assert "fusion_count" in cache_stats, cache_stats
                 print("serve smoke ok:")
                 for request, result in zip(requests, results):
                     print(
                         f"  {request.request_id}: generator="
                         f"{result['stage_names']['session_generator']}, "
                         f"operations={len(result['operations'])}, "
-                        f"compliant={result['fully_compliant']}"
+                        f"compliant={result['fully_compliant']}, "
+                        f"plan_hit_rate={result['cache_stats']['plan_hit_rate']}"
                     )
                 print(f"  store: {stats['store']}")
                 print(f"  scheduler: {stats['scheduler']['states']}")
+                print(
+                    "  engine cache: "
+                    f"plan_entries={engine_cache['plan_entries']}, "
+                    f"plan_hits={engine_cache['plan_hits']}, "
+                    f"fusions={engine_cache['fusion_count']}"
+                )
         finally:
             scheduler.shutdown()
             store.close()

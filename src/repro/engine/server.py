@@ -247,7 +247,14 @@ class LinxHttpServer:
         except EngineError as exc:
             await self._respond(writer, 400, {"error": str(exc)})
             return
-        await self._respond(writer, 202, self.scheduler.status(ticket.ticket_id))
+        # Respond with the acceptance-time snapshot, not the live state: a
+        # fast worker may have finished the request already, and a fresh
+        # submission must report "queued", never race to "done".
+        await self._respond(
+            writer,
+            202,
+            ticket.submit_snapshot or self.scheduler.status(ticket.ticket_id),
+        )
 
     async def _status(self, ticket_id: str, writer: asyncio.StreamWriter) -> None:
         await self._respond(writer, 200, self.scheduler.status(ticket_id))

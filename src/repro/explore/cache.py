@@ -16,6 +16,15 @@ returns the *same* immutable ``DataTable`` object that the original execution
 produced, so repeated episodes share views (and all the per-view memoised
 statistics that hang off them) instead of re-scanning the data.
 
+Two key families share the one LRU: per-operation keys ``(view
+fingerprint, operation signature)`` — the eager reference path — and
+*semantic* plan keys ``(base fingerprint, ("PLAN", canonical plan
+fingerprint))`` written by the query planner
+(:meth:`~repro.explore.executor.QueryExecutor.execute_plan`).  Because the
+plan component is a canonical-form digest, pipelines that differ only in
+filter ordering, duplicated predicates or undone (back) steps collapse to
+one entry; ``stats.plan_hits`` counts the lookups served that way.
+
 Successful executions are cached as result views; runtime *failures* are
 cached too, in a separate bounded negative map (``(view, operation)`` ->
 error message).  Validity testing is mostly static —
@@ -58,8 +67,13 @@ DEFAULT_MAX_ENTRIES = 4096
 #: Default maximum number of cached failure outcomes.
 DEFAULT_MAX_ERROR_ENTRIES = 1024
 
-#: Cache key: (view fingerprint, operation signature).
+#: Cache key: (view fingerprint, operation signature *or* plan tag).
 CacheKey = tuple[tuple, tuple[str, ...]]
+
+#: First element of the second key component for plan-keyed entries.  The
+#: tag cannot collide with operation signatures, whose first element is
+#: always a single-letter kind code.
+PLAN_KEY_TAG = "PLAN"
 
 
 @dataclass
@@ -71,6 +85,11 @@ class CacheStats:
     evictions: int = 0
     #: Lookups answered from the negative (cached-failure) map.
     negative_hits: int = 0
+    #: Hits served under a canonical-plan key (a subset of ``hits``).
+    plan_hits: int = 0
+    #: Fused multi-operation segments executed by the planner (each one
+    #: replaces >= 2 eager materialisations with a single pass).
+    fusion_count: int = 0
 
     @property
     def lookups(self) -> int:
@@ -88,6 +107,8 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "negative_hits": self.negative_hits,
+            "plan_hits": self.plan_hits,
+            "fusion_count": self.fusion_count,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -96,6 +117,8 @@ class CacheStats:
         self.misses = 0
         self.evictions = 0
         self.negative_hits = 0
+        self.plan_hits = 0
+        self.fusion_count = 0
 
 
 class ExecutionCache:
@@ -145,20 +168,58 @@ class ExecutionCache:
         """The cache key of executing *operation* against *view*."""
         return (view.fingerprint(), operation.signature())
 
+    @staticmethod
+    def plan_key_for(base: DataTable, plan) -> CacheKey:
+        """The semantic cache key of executing *plan* against *base*.
+
+        *plan* is a canonical :class:`~repro.plan.nodes.LogicalPlan`
+        (duck-typed on ``fingerprint()`` to keep this module free of a plan
+        dependency).  Every operation ordering that canonicalizes to the
+        same plan shares this key, across the memory and disk tiers alike.
+        """
+        return (base.fingerprint(), (PLAN_KEY_TAG, plan.fingerprint()))
+
+    def _fetch(self, key: CacheKey) -> DataTable | None:
+        """The raw (stat-free) lookup; tier layers override this."""
+        result = self._entries.get(key)
+        if result is not None:
+            self._entries.move_to_end(key)
+        return result
+
+    def _put_key(self, key: CacheKey, result: DataTable) -> None:
+        """The raw insert behind :meth:`put`; tier layers override this."""
+        self._store(key, result)
+
     def get(self, view: DataTable, operation: Operation) -> DataTable | None:
         """The cached result view, or ``None`` (counts a hit or a miss)."""
-        key = self.key_for(view, operation)
-        result = self._entries.get(key)
+        result = self._fetch(self.key_for(view, operation))
         if result is None:
             self.stats.misses += 1
             return None
-        self._entries.move_to_end(key)
         self.stats.hits += 1
         return result
 
     def put(self, view: DataTable, operation: Operation, result: DataTable) -> None:
         """Store the result of executing *operation* on *view*."""
-        self._store(self.key_for(view, operation), result)
+        self._put_key(self.key_for(view, operation), result)
+
+    def get_plan(self, base: DataTable, plan) -> DataTable | None:
+        """The view cached under ``(base, canonical plan)``, or ``None``.
+
+        Counts into the shared hit/miss statistics like :meth:`get`, plus
+        ``stats.plan_hits`` so plan-level sharing is observable on its own.
+        """
+        result = self._fetch(self.plan_key_for(base, plan))
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.plan_hits += 1
+        return result
+
+    def put_plan(self, base: DataTable, plan, result: DataTable) -> None:
+        """Store the result of executing the canonical *plan* on *base*."""
+        self._put_key(self.plan_key_for(base, plan), result)
 
     def _store(self, key: CacheKey, result: DataTable) -> None:
         """Insert *result* under *key*, evicting per the entry/row budgets.
@@ -229,10 +290,20 @@ class ExecutionCache:
         self._errors.clear()
         self.stats.reset()
 
+    @property
+    def plan_entries(self) -> int:
+        """Number of memory-tier entries stored under canonical-plan keys."""
+        return sum(
+            1
+            for key in self._entries
+            if key[1] and key[1][0] == PLAN_KEY_TAG
+        )
+
     def describe(self) -> dict[str, float | int | None]:
         """Hit/miss counters plus occupancy, for telemetry payloads."""
         summary: dict[str, float | int | None] = dict(self.stats.as_dict())
         summary["entries"] = len(self._entries)
+        summary["plan_entries"] = self.plan_entries
         summary["cached_rows"] = self._cached_rows
         summary["negative_entries"] = len(self._errors)
         summary["max_entries"] = self.max_entries
@@ -240,9 +311,18 @@ class ExecutionCache:
         summary["max_error_entries"] = self.max_error_entries
         return summary
 
-    def snapshot_counters(self) -> tuple[int, int, int]:
-        """A ``(hits, misses, evictions)`` snapshot (used for per-request deltas)."""
-        return (self.stats.hits, self.stats.misses, self.stats.evictions)
+    def snapshot_counters(self) -> tuple[int, int, int, int, int]:
+        """A ``(hits, misses, evictions, plan_hits, fusion_count)`` snapshot.
+
+        Used by the engine for per-request deltas.
+        """
+        return (
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.evictions,
+            self.stats.plan_hits,
+            self.stats.fusion_count,
+        )
 
     def __repr__(self) -> str:
         return (
@@ -275,6 +355,14 @@ class LockGuardedCacheOps:
         with self._lock:
             super().put(view, operation, result)
 
+    def get_plan(self, base: DataTable, plan) -> DataTable | None:
+        with self._lock:
+            return super().get_plan(base, plan)
+
+    def put_plan(self, base: DataTable, plan, result: DataTable) -> None:
+        with self._lock:
+            super().put_plan(base, plan, result)
+
     def get_error(self, view: DataTable, operation: Operation) -> str | None:
         with self._lock:
             return super().get_error(view, operation)
@@ -299,8 +387,8 @@ class LockGuardedCacheOps:
         with self._lock:
             return super().describe()
 
-    def snapshot_counters(self) -> tuple[int, int, int]:
-        """A consistent ``(hits, misses, evictions)`` snapshot."""
+    def snapshot_counters(self) -> tuple[int, int, int, int, int]:
+        """A consistent ``(hits, misses, evictions, plan_hits, fusion_count)`` snapshot."""
         with self._lock:
             return super().snapshot_counters()
 

@@ -53,15 +53,17 @@ from .cache import (
     ExecutionCache,
     LockGuardedCacheOps,
 )
-from .operations import Operation
 
 #: Version of the on-disk layout (sqlite schema + payload encoding + cache
 #: key digest format).  Bump on any incompatible change: a mismatching
 #: store is dropped and recreated on open, so stale formats are ignored
 #: rather than misinterpreted.  The fingerprint digest format changed in
 #: the numpy-columnar rewrite (PR 3) — that is exactly the class of change
-#: this guards against.
-DISK_SCHEMA_VERSION = 1
+#: this guards against.  Version 2 introduced canonical-plan keys (the
+#: ``("PLAN", fingerprint)`` second component) alongside per-operation
+#: keys; stores written before the planner are dropped wholesale rather
+#: than serving a mixed keyspace.
+DISK_SCHEMA_VERSION = 2
 
 #: Default number of buffered inserts per write-behind flush.
 DEFAULT_WRITE_BATCH = 32
@@ -354,29 +356,29 @@ class TieredExecutionCache(ExecutionCache):
         self._pending: "OrderedDict[CacheKey, DataTable]" = OrderedDict()
 
     # -- tiered lookups -------------------------------------------------------------
-    def get(self, view: DataTable, operation: Operation) -> Optional[DataTable]:
-        key = self.key_for(view, operation)
+    def _fetch(self, key: CacheKey) -> Optional[DataTable]:
+        """Read-through lookup: memory LRU, write-behind buffer, then disk.
+
+        Overriding the raw hook (rather than :meth:`get`) means *every* key
+        family — per-operation keys and canonical-plan keys alike — gets
+        tiered reads and promotion; the stat counting stays in the base
+        class's public lookups.
+        """
         result = self._entries.get(key)
         if result is not None:
             self._entries.move_to_end(key)
-            self.stats.hits += 1
             return result
         # Evicted from memory but not yet flushed: the buffer still has it.
         pending = self._pending.get(key)
         if pending is not None:
-            self.stats.hits += 1
             self._store(key, pending)
             return pending
         table = self.disk.get(key)
-        if table is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        self._store(key, table)
+        if table is not None:
+            self._store(key, table)
         return table
 
-    def put(self, view: DataTable, operation: Operation, result: DataTable) -> None:
-        key = self.key_for(view, operation)
+    def _put_key(self, key: CacheKey, result: DataTable) -> None:
         self._store(key, result)
         self._pending[key] = result
         if len(self._pending) >= self.write_batch_size:

@@ -1,11 +1,36 @@
-"""Execution of parametric query operations against :class:`DataTable` views."""
+"""Execution of parametric query operations against :class:`DataTable` views.
+
+Two execution styles share this module:
+
+* the **eager** reference path — :meth:`QueryExecutor.execute` runs one
+  operation against one view, memoised per ``(view, operation)``;
+* the **plan** path — :meth:`QueryExecutor.execute_plan` canonicalizes a
+  :class:`~repro.plan.nodes.LogicalPlan` and executes it in *fused
+  segments* (adjacent filters AND-combine their vectorised masks; a filter
+  run feeding a group-by pushes the combined mask straight into the
+  group-by factorisation), memoised per ``(base, canonical plan)`` so
+  commuted or duplicated pipelines share one cache entry.
+  :meth:`QueryExecutor.execute_step` is the incremental variant the
+  exploration environments use: one operation extends a canonical prefix
+  plan and the result lands under the new prefix's semantic key.
+
+Both paths produce bit-identical views; the eager path remains the tested
+reference the property suite compares against.
+"""
 
 from __future__ import annotations
 
 from repro.dataframe.aggregates import numeric_only
 from repro.dataframe.errors import DataFrameError
-from repro.dataframe.expressions import Predicate
+from repro.dataframe.expressions import Predicate, combine_and
 from repro.dataframe.table import DataTable
+from repro.plan import (
+    FilterNode,
+    GroupNode,
+    LogicalPlan,
+    canonicalize,
+    node_from_operation,
+)
 
 from .cache import ExecutionCache
 from .operations import (
@@ -38,7 +63,9 @@ class QueryExecutor:
     signature)`` and repeated executions return the cached immutable view.
     Runtime failures are memoised too (negative caching): an operation that
     passed the static check but raised :class:`ExecutionError` re-raises
-    from the cache on repeats instead of re-executing from scratch.
+    from the cache on repeats instead of re-executing from scratch.  The
+    plan path memoises under ``(base fingerprint, canonical plan
+    fingerprint)`` instead, which is order-insensitive.
     """
 
     def __init__(self, cache: ExecutionCache | None = None):
@@ -71,6 +98,141 @@ class QueryExecutor:
             self.cache.put(view, operation, result)
         return result
 
+    # -- plan execution ------------------------------------------------------------------
+    def execute_step(
+        self,
+        base: DataTable,
+        plan: LogicalPlan,
+        view: DataTable,
+        operation: Operation,
+    ) -> tuple[DataTable, LogicalPlan]:
+        """Execute one operation as a plan extension (the incremental hot path).
+
+        *plan* is the canonical plan that produced *view* from *base*; the
+        returned pair is ``(result view, canonical plan of the result)``.
+        The lookup is semantic — if any previously executed pipeline
+        canonicalizes to the same extended plan (commuted filters, repeated
+        predicates, undone steps), its view is returned without executing —
+        and a miss costs exactly one eager operation, so the step path is
+        never slower than :meth:`execute`.  Runtime failures keep the eager
+        per-``(view, operation)`` negative cache.
+        """
+        if isinstance(operation, RootOperation):
+            return view, plan
+        if not isinstance(operation, (FilterOperation, GroupAggOperation)):
+            raise ExecutionError(f"cannot execute operation of kind {operation.kind!r}")
+        new_plan = canonicalize(plan.extend(node_from_operation(operation)))
+        if self.cache is not None:
+            failure = self.cache.get_error(view, operation)
+            if failure is not None:
+                raise ExecutionError(failure)
+            cached = self.cache.get_plan(base, new_plan)
+            if cached is not None:
+                return cached, new_plan
+        run = (
+            self._execute_filter
+            if isinstance(operation, FilterOperation)
+            else self._execute_group
+        )
+        try:
+            result = run(view, operation)
+        except ExecutionError as exc:
+            if self.cache is not None:
+                self.cache.put_error(view, operation, str(exc))
+            raise
+        if self.cache is not None:
+            self.cache.put_plan(base, new_plan, result)
+        return result, new_plan
+
+    def execute_plan(self, base: DataTable, plan: LogicalPlan) -> DataTable:
+        """Execute *plan* against *base* with fused segments.
+
+        The plan is canonicalized first, so back steps are resolved and
+        equivalent pipelines share both their cache entries and their
+        execution.  Execution walks the canonical plan in segments:
+
+        * a maximal run of adjacent filters computes every predicate mask
+          on the segment's input view and materialises **one** filtered
+          view from the AND-combined mask;
+        * when the run feeds a group-by, the combined mask goes straight
+          into :meth:`DataTable.groupby_agg` (``where=``) and *no*
+          intermediate view is materialised at all.
+
+        Each materialised prefix is cached under its canonical-plan key, so
+        later pipelines sharing a prefix resume from it.  Results are
+        bit-identical to executing each operation eagerly in sequence.
+        """
+        canonical = canonicalize(plan)
+        steps = canonical.steps
+        if not steps:
+            return base
+        if self.cache is not None:
+            cached = self.cache.get_plan(base, canonical)
+            if cached is not None:
+                return cached
+        view = base
+        i = 0
+        while i < len(steps):
+            node = steps[i]
+            if isinstance(node, FilterNode):
+                j = i
+                while j < len(steps) and isinstance(steps[j], FilterNode):
+                    j += 1
+                mask = self._fused_filter_mask(view, steps[i:j])
+                fused = j - i
+                if j < len(steps) and isinstance(steps[j], GroupNode):
+                    view = self._run_group_node(view, steps[j], where=mask)
+                    j += 1
+                    fused += 1
+                else:
+                    view = view.filter_rows(mask)
+                i = j
+                if fused >= 2 and self.cache is not None:
+                    self.cache.stats.fusion_count += 1
+            elif isinstance(node, GroupNode):
+                view = self._run_group_node(view, node)
+                i += 1
+            else:
+                raise ExecutionError(
+                    f"cannot execute plan node of kind {node.kind!r}"
+                )
+            if self.cache is not None:
+                self.cache.put_plan(base, LogicalPlan(steps[:i]), view)
+        return view
+
+    def _fused_filter_mask(self, view: DataTable, run) -> "object":
+        """The AND-combined row mask of an adjacent filter run over *view*."""
+        masks = []
+        for node in run:
+            if node.attr not in view:
+                raise ExecutionError(
+                    f"filter attribute {node.attr!r} not in view columns {view.columns}"
+                )
+            try:
+                predicate = Predicate(node.attr, node.op, node.term)
+                masks.append(predicate.mask(view.column(node.attr)))
+            except DataFrameError as exc:
+                raise ExecutionError(str(exc)) from exc
+        return combine_and(masks)
+
+    def _run_group_node(self, view: DataTable, node: GroupNode, where=None) -> DataTable:
+        if node.group_attr not in view:
+            raise ExecutionError(
+                f"group attribute {node.group_attr!r} not in view columns {view.columns}"
+            )
+        if node.agg_attr not in view:
+            raise ExecutionError(
+                f"aggregate attribute {node.agg_attr!r} not in view columns "
+                f"{view.columns}"
+            )
+        try:
+            return view.groupby_agg(
+                node.group_attr, node.agg_func, node.agg_attr, where=where
+            )
+        except DataFrameError as exc:
+            raise ExecutionError(str(exc)) from exc
+
+    # -- eager kernels -------------------------------------------------------------------
     def _execute_filter(self, view: DataTable, operation: FilterOperation) -> DataTable:
         if operation.attr not in view:
             raise ExecutionError(

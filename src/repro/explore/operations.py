@@ -158,7 +158,16 @@ def operation_from_signature(fields: Sequence[str]) -> Operation:
             raise ValueError(f"group signature needs 4 fields, got {list(fields)}")
         return GroupAggOperation(group_attr=fields[1], agg_func=fields[2], agg_attr=fields[3])
     if kind == KIND_BACK:
-        steps = int(fields[1]) if len(fields) > 1 else 1
+        if len(fields) > 2:
+            raise ValueError(f"back signature needs at most 2 fields, got {list(fields)}")
+        if len(fields) == 1:
+            return BackOperation()
+        try:
+            steps = int(fields[1])
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"back signature needs an integer step count, got {fields[1]!r}"
+            ) from None
         return BackOperation(steps=steps)
     raise ValueError(f"unknown operation kind {fields[0]!r}")
 

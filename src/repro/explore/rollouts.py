@@ -133,6 +133,7 @@ class VectorEnvironment:
         action_space: ActionSpace | None = None,
         cache: ExecutionCache | None = None,
         enable_cache: bool = True,
+        use_plans: bool = True,
     ) -> "VectorEnvironment":
         """Build *num_envs* environments over one action space and one cache.
 
@@ -144,7 +145,9 @@ class VectorEnvironment:
         other's interestingness and diversity scores just like they reuse
         query results.  With ``enable_cache`` one :class:`ExecutionCache`
         (given or fresh) is shared by all environments — the whole point of
-        batching.
+        batching.  ``use_plans`` is forwarded to every environment; with the
+        shared cache it makes sibling rollouts share canonical-plan entries,
+        not just syntactic ones.
         """
         if num_envs < 1:
             raise ValueError("num_envs must be positive")
@@ -162,6 +165,7 @@ class VectorEnvironment:
                 action_space=space,
                 cache=cache,
                 enable_cache=enable_cache,
+                use_plans=use_plans,
             )
             for _ in range(num_envs)
         ]

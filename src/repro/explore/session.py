@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.dataframe.table import DataTable
+from repro.plan.nodes import LogicalPlan
 from repro.tregex.tree import TreeNode
 
 from .operations import (
@@ -35,6 +36,11 @@ class SessionNode:
     parent: Optional["SessionNode"] = None
     children: list["SessionNode"] = field(default_factory=list)
     step_index: int = 0
+    #: Canonical logical plan producing this node's view from the base
+    #: dataset, set when the node was executed through the plan path.
+    #: ``None`` for eagerly executed nodes; derive one on demand with
+    #: :func:`repro.plan.builder.plan_for_node`.
+    plan: Optional[LogicalPlan] = None
 
     def signature(self) -> tuple[str, ...]:
         """Positional signature used by LDX verification."""
@@ -81,19 +87,36 @@ class ExplorationSession:
     def __init__(self, dataset: DataTable, dataset_name: str | None = None):
         name = dataset_name or dataset.name
         self.dataset = dataset
-        self.root = SessionNode(operation=RootOperation(dataset_name=name), view=dataset)
+        self.root = SessionNode(
+            operation=RootOperation(dataset_name=name),
+            view=dataset,
+            plan=LogicalPlan(()),
+        )
         self.current = self.root
         self._steps = 0
         self._operations: list[Operation] = []
 
     # -- growth ----------------------------------------------------------------------
-    def add_operation(self, operation: Operation, view: DataTable) -> SessionNode:
-        """Attach *operation* (already executed into *view*) under the current node."""
+    def add_operation(
+        self,
+        operation: Operation,
+        view: DataTable,
+        plan: LogicalPlan | None = None,
+    ) -> SessionNode:
+        """Attach *operation* (already executed into *view*) under the current node.
+
+        *plan* is the canonical logical plan of the new view when the
+        operation was executed through the plan path; eager callers omit it.
+        """
         if not is_query_operation(operation):
             raise ValueError(f"only query operations create nodes, got {operation.kind}")
         self._steps += 1
         node = SessionNode(
-            operation=operation, view=view, parent=self.current, step_index=self._steps
+            operation=operation,
+            view=view,
+            parent=self.current,
+            step_index=self._steps,
+            plan=plan,
         )
         self.current.children.append(node)
         self.current = node
@@ -178,6 +201,7 @@ def session_from_operations(
     operations: list[Operation],
     executor: "object" = None,
     cache: "object" = None,
+    use_plans: bool = True,
 ) -> ExplorationSession:
     """Replay a flat list of operations (including back ops) into a session.
 
@@ -186,18 +210,38 @@ def session_from_operations(
     When *cache* (an :class:`~repro.explore.cache.ExecutionCache`) is given
     and no executor is supplied, the replay reuses memoised results, which
     makes repeated replays of overlapping operation lists nearly free.
+
+    By default the replay goes through the executor's plan path
+    (``execute_step``) so cache keys are canonical-plan based: replays of
+    *equivalent* operation lists (commuted filters, undone steps) share
+    cache entries, not just syntactically identical ones.  Pass
+    ``use_plans=False`` — or an executor without ``execute_step`` — for the
+    eager per-``(view, operation)`` path.
     """
     if executor is None:
         from .executor import QueryExecutor
 
         executor = QueryExecutor(cache=cache)
+    use_plans = use_plans and hasattr(executor, "execute_step")
     session = ExplorationSession(dataset)
     for operation in operations:
         if isinstance(operation, BackOperation):
             session.go_back(operation.steps)
             continue
-        view = executor.execute(session.current.view, operation)
-        session.add_operation(operation, view)
+        current = session.current
+        if use_plans:
+            base_plan = current.plan
+            if base_plan is None:
+                from repro.plan.builder import plan_for_node
+
+                base_plan = plan_for_node(current)
+            view, new_plan = executor.execute_step(
+                dataset, base_plan, current.view, operation
+            )
+            session.add_operation(operation, view, plan=new_plan)
+        else:
+            view = executor.execute(current.view, operation)
+            session.add_operation(operation, view)
     return session
 
 

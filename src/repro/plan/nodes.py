@@ -1,0 +1,193 @@
+"""Logical-plan nodes: the canonical relational form of exploration pipelines.
+
+An exploration pipeline — the path of operations from the session root to
+one view — is *syntactic*: ``filter A → filter B`` and ``filter B →
+filter A`` are different operation lists that denote the same relation.
+This module gives pipelines a relational AST (in the shape of JQL-style
+``Filter | Join | Project | Union`` algebras): a :class:`LogicalPlan` is an
+ordered tuple of plan nodes mirroring the executable operation vocabulary,
+and :func:`repro.plan.builder.canonicalize` reduces many surface orderings
+to one normal form whose :meth:`LogicalPlan.fingerprint` keys every cache
+tier.
+
+Nodes are immutable value objects whose ``signature()`` matches the
+corresponding :meth:`repro.explore.operations.Operation.signature` exactly,
+so plan fingerprints and operation signatures hash the same field values.
+Join and union pipelines (ROADMAP item 2) should land here as new node
+types — the canonicalizer and fingerprint extend per node kind, the eager
+operation vocabulary does not need to grow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.dataframe.aggregates import canonical_agg
+from repro.dataframe.expressions import canonical_operator
+from repro.explore.operations import (
+    KIND_BACK,
+    KIND_FILTER,
+    KIND_GROUP,
+    KIND_ROOT,
+)
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class of logical-plan nodes."""
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+    def signature(self) -> tuple[str, ...]:
+        """Positional field tuple; identical to the mirrored operation's."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RootNode(PlanNode):
+    """The unmodified base table (only ever appears as a leading no-op)."""
+
+    @property
+    def kind(self) -> str:
+        return KIND_ROOT
+
+    def signature(self) -> tuple[str, ...]:
+        return (KIND_ROOT,)
+
+    def describe(self) -> str:
+        return "ROOT"
+
+
+@dataclass(frozen=True)
+class FilterNode(PlanNode):
+    """Keep the rows where ``attr <op> term`` (mirrors ``FilterOperation``)."""
+
+    attr: str
+    op: str
+    term: Any
+
+    def __post_init__(self) -> None:
+        # Same normalisation as FilterOperation: aliases like "==" must not
+        # fork the fingerprint space.
+        object.__setattr__(self, "op", canonical_operator(self.op))
+
+    @property
+    def kind(self) -> str:
+        return KIND_FILTER
+
+    def signature(self) -> tuple[str, ...]:
+        return (KIND_FILTER, str(self.attr), str(self.op), str(self.term))
+
+    def describe(self) -> str:
+        return f"FILTER {self.attr} {self.op} {self.term}"
+
+
+@dataclass(frozen=True)
+class GroupNode(PlanNode):
+    """Group by ``group_attr``, aggregate ``agg_attr`` with ``agg_func``."""
+
+    group_attr: str
+    agg_func: str
+    agg_attr: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "agg_func", canonical_agg(self.agg_func))
+
+    @property
+    def kind(self) -> str:
+        return KIND_GROUP
+
+    def signature(self) -> tuple[str, ...]:
+        return (KIND_GROUP, str(self.group_attr), str(self.agg_func), str(self.agg_attr))
+
+    def describe(self) -> str:
+        return f"GROUP {self.group_attr} {self.agg_func}({self.agg_attr})"
+
+
+@dataclass(frozen=True)
+class BackNode(PlanNode):
+    """Undo the last *steps* pipeline stages (resolved away by canonicalize)."""
+
+    steps: int = 1
+
+    @property
+    def kind(self) -> str:
+        return KIND_BACK
+
+    def signature(self) -> tuple[str, ...]:
+        return (KIND_BACK, str(self.steps))
+
+    def describe(self) -> str:
+        return f"BACK {self.steps}"
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """An ordered pipeline of plan nodes applied to one base table.
+
+    Plans are immutable; :meth:`extend` returns a new plan.  The
+    :meth:`fingerprint` of a *canonical* plan (see
+    :func:`repro.plan.builder.canonicalize`) is the semantic cache key:
+    every surface ordering that canonicalizes to the same plan shares it.
+    """
+
+    steps: tuple[PlanNode, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "steps", tuple(self.steps))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def extend(self, node: PlanNode) -> "LogicalPlan":
+        """A new plan with *node* appended."""
+        return LogicalPlan(self.steps + (node,))
+
+    def signatures(self) -> tuple[tuple[str, ...], ...]:
+        """The per-node signature tuples, in pipeline order (hashable)."""
+        return tuple(node.signature() for node in self.steps)
+
+    def fingerprint(self) -> str:
+        """Stable blake2b digest over the type-tagged node signatures.
+
+        Computed once per instance (plans are immutable) through a
+        length-prefixed encoding, so the key is canonical across processes
+        — no reliance on ``repr`` or pickle memoisation.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            digest = hashlib.blake2b(digest_size=20)
+            for signature in self.signatures():
+                digest.update(b"N" + str(len(signature)).encode() + b":")
+                for field in signature:
+                    raw = str(field).encode("utf-8")
+                    digest.update(str(len(raw)).encode() + b":" + raw)
+            cached = digest.hexdigest()
+            # Frozen dataclasses only guard __setattr__; the instance dict
+            # is writable and not part of equality.
+            self.__dict__["_fingerprint"] = cached
+        return cached
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. for notebook and log rendering."""
+        if not self.steps:
+            return "ROOT"
+        return " -> ".join(node.describe() for node in self.steps)
+
+    def __repr__(self) -> str:
+        return f"LogicalPlan({self.describe()!r})"
+
+
+def plan_of(steps: Iterable[PlanNode]) -> LogicalPlan:
+    """Convenience constructor from any iterable of nodes."""
+    return LogicalPlan(tuple(steps))
