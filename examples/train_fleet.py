@@ -1,0 +1,145 @@
+"""Training-fleet walkthrough: train → checkpoint → publish → serve by name.
+
+The distributed training tier splits the CDRL loop into a *learner* (owns
+the policy, optimizer and gradient batching) and a fleet of *actor*
+processes (rebuild the environment from a primitive spec and collect
+rollout waves).  Because wave episodes draw from per-episode RNG streams
+and always use the wave-start weights, a W-actor fleet trains
+bit-identically to the single-process trainer with `num_envs=W*K` — the
+fleet changes wall-clock, never results.
+
+This script:
+
+1. trains a policy on the Flights dataset with a 2-actor process fleet,
+   checkpointing every wave (kill it mid-run and re-run: it resumes),
+2. publishes the trained policy into a sqlite `PolicyRegistry`,
+3. boots the HTTP serving tier pointed at that registry and submits an
+   `ExploreRequest` that names the policy as its session generator —
+   serving a *trained* artifact with no training at request time.
+
+Run with::
+
+    python examples/train_fleet.py
+"""
+
+import http.client
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cdrl import CdrlConfig
+from repro.engine import ExploreRequest, LinxEngine, RequestScheduler
+from repro.engine.server import ServerThread
+from repro.train import FleetLearner, PolicyRegistry, TrainSpec
+
+WEATHER_DELAY_LDX = """
+ROOT CHILDREN <A1,A2>
+A1 LIKE [F,delay_reason,eq,weather] and CHILDREN {B1}
+B1 LIKE [G,(?<Y>.*),mean,(?<Z>.*)]
+A2 LIKE [F,delay_reason,neq,weather] and CHILDREN {B2}
+B2 LIKE [G,(?<Y>.*),mean,(?<Z>.*)]
+"""
+
+
+def call(port: int, method: str, path: str, body: dict | None = None) -> tuple[int, dict]:
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+    try:
+        connection.request(
+            method,
+            path,
+            body=json.dumps(body) if body is not None else None,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="linx-train-fleet-") as tmp:
+        checkpoint_path = Path(tmp) / "weather.ckpt"
+        registry_path = Path(tmp) / "policies.sqlite"
+
+        # -- 1. train with an actor fleet -----------------------------------
+        spec = TrainSpec(
+            dataset="flights",
+            ldx_text=WEATHER_DELAY_LDX,
+            num_rows=300,
+            config=CdrlConfig(episodes=24, episode_length=5, seed=0),
+        )
+        print("training with a 2-actor process fleet ...")
+        started = time.perf_counter()
+        with FleetLearner(
+            spec,
+            num_actors=2,
+            envs_per_actor=1,
+            workers="process",
+            checkpoint_path=checkpoint_path,
+        ) as learner:
+            result = learner.train(
+                callback=lambda episode, episode_return, _s: print(
+                    f"  episode {episode + 1:>2}: return {episode_return:7.3f}"
+                )
+                if (episode + 1) % 8 == 0
+                else None
+            )
+            print(
+                f"trained {result.episodes_trained} episodes in "
+                f"{time.perf_counter() - started:.1f}s; best session "
+                f"compliant={result.fully_compliant}, "
+                f"utility={result.utility_score:.4f}"
+            )
+
+            # -- 2. publish the artifact ------------------------------------
+            with PolicyRegistry(registry_path) as registry:
+                version = learner.publish(
+                    registry,
+                    "weather-delays",
+                    metrics={"utility": result.utility_score},
+                )
+            print(f"published cdrl:weather-delays-v{version} -> {registry_path.name}")
+
+        # -- 3. serve the registered policy over HTTP -----------------------
+        engine = LinxEngine(policy_registry_path=registry_path)
+        scheduler = RequestScheduler(engine, max_workers=1)
+        try:
+            with ServerThread(scheduler) as hosted:
+                port = hosted.port
+                _, stages = call(port, "GET", "/stages")
+                print(f"registered generators: {stages['stages']['session_generator']}")
+
+                request = ExploreRequest(
+                    goal="Highlight distinctive characteristics of weather delays",
+                    dataset="flights",
+                    num_rows=300,
+                    ldx_text=WEATHER_DELAY_LDX,
+                    episodes=5,
+                    seed=0,
+                    stages={"session_generator": "cdrl:weather-delays-v1"},
+                )
+                _, submitted = call(port, "POST", "/requests", request.to_dict())
+                ticket = submitted["ticket"]
+                while True:
+                    status, payload = call(port, "GET", f"/requests/{ticket}/result")
+                    if status != 202:
+                        break
+                    time.sleep(0.1)
+                result = payload["result"]
+                print(
+                    f"served by {result['stage_names']['session_generator']}: "
+                    f"{len(result['operations'])} operations, "
+                    f"compliant={result['fully_compliant']}, "
+                    f"episodes_trained={result['episodes_trained']}"
+                )
+                for signature in result["operations"]:
+                    print(f"  {signature}")
+        finally:
+            scheduler.shutdown()
+            if engine.policy_registry is not None:
+                engine.policy_registry.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -61,6 +61,50 @@ class CdrlConfig:
     trainer: TrainerConfig = field(default_factory=TrainerConfig)
     compliance: ComplianceRewardConfig = field(default_factory=ComplianceRewardConfig)
 
+    def validate(self) -> list:
+        """Structured validation; returns ``FieldError`` entries (empty = valid).
+
+        Nested trainer hyper-parameters are reported with a ``trainer.``
+        prefix, so a bad batch size surfaces as ``trainer.batch_episodes``
+        instead of a numpy shape error deep in the update step.
+        """
+        # Lazy import: repro.engine.__init__ transitively imports this module.
+        from repro.engine.errors import FieldError
+
+        errors: list[FieldError] = []
+        if self.episode_length < 1:
+            errors.append(
+                FieldError(
+                    field="episode_length",
+                    message=f"must be >= 1, got {self.episode_length}",
+                )
+            )
+        if self.episodes < 1:
+            errors.append(
+                FieldError(field="episodes", message=f"must be >= 1, got {self.episodes}")
+            )
+        if self.num_envs < 1:
+            errors.append(
+                FieldError(field="num_envs", message=f"must be >= 1, got {self.num_envs}")
+            )
+        if not self.hidden_sizes or any(size < 1 for size in self.hidden_sizes):
+            errors.append(
+                FieldError(
+                    field="hidden_sizes",
+                    message=f"must be a non-empty tuple of sizes >= 1, got {self.hidden_sizes}",
+                )
+            )
+        errors.extend(self.trainer.validate(prefix="trainer."))
+        return errors
+
+    def check(self) -> None:
+        """Raise ``RequestValidationError`` if any configuration field is invalid."""
+        errors = self.validate()
+        if errors:
+            from repro.engine.errors import RequestValidationError
+
+            raise RequestValidationError(errors)
+
 
 @dataclass
 class CdrlResult:
@@ -110,6 +154,7 @@ class LinxCdrlAgent:
         self.dataset = dataset
         self.query = parse_ldx(query) if isinstance(query, str) else query
         self.config = config or CdrlConfig()
+        self.config.check()
         # A compliant session needs every required operation plus the back
         # moves that navigate between branches; allow one extra step of slack.
         episode_length = max(

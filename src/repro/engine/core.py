@@ -149,6 +149,13 @@ class LinxEngine:
         results survive restarts, and warm-start sweeps or process-pool
         workers reuse each other's executions.  Ignored when an explicit
         *cache* is supplied.
+    policy_registry_path:
+        Optional sqlite file of a :class:`~repro.train.registry.PolicyRegistry`.
+        Every trained artifact in it self-registers as a session-generator
+        stage (``cdrl:<name>-v<N>`` plus the floating ``cdrl:<name>`` alias),
+        so requests can serve trained policies by name.  Declarative — a
+        path, not an object — so it survives ``explore_many(workers=
+        "process")`` worker rebuilds.
 
     Example
     -------
@@ -174,6 +181,7 @@ class LinxEngine:
         max_cache_entries: int = DEFAULT_MAX_ENTRIES,
         max_cached_rows: int | None = DEFAULT_ENGINE_MAX_CACHED_ROWS,
         disk_cache_path: str | os.PathLike | None = None,
+        policy_registry_path: str | os.PathLike | None = None,
     ):
         self.llm_client = llm_client or gpt4_client()
         self.cdrl_config = cdrl_config or CdrlConfig(episodes=150)
@@ -210,6 +218,18 @@ class LinxEngine:
         self._bank_lock = threading.Lock()
         self._bank: Optional[FewShotBank] = None
         self.registry = STAGE_REGISTRY
+        self.policy_registry_path = (
+            str(policy_registry_path) if policy_registry_path is not None else None
+        )
+        self.policy_registry = None
+        if self.policy_registry_path is not None:
+            # Lazy import: repro.train builds on this module's layer.
+            from repro.train.registry import PolicyRegistry
+
+            self.policy_registry = PolicyRegistry(self.policy_registry_path)
+            # Trained artifacts become selectable stages (before stage
+            # resolution, so ``stages=`` may name one directly).
+            self.policy_registry.attach(self.registry)
         self.stage_selection: dict[str, str] = dict(stages or {})
         unknown_kinds = sorted(set(self.stage_selection) - set(STAGE_KIND_ATTRS))
         if unknown_kinds:
@@ -673,6 +693,7 @@ class LinxEngine:
             "max_cache_entries": self._max_cache_entries,
             "max_cached_rows": self._max_cached_rows,
             "stages": dict(self.stage_selection),
+            "policy_registry_path": self.policy_registry_path,
         }
 
     # -- internals -------------------------------------------------------------------
@@ -798,6 +819,7 @@ def worker_engine(spec: dict[str, Any]) -> LinxEngine:
             max_cached_rows=spec["max_cached_rows"],
             disk_cache_path=spec["disk_cache_path"],
             stages=spec.get("stages") or None,
+            policy_registry_path=spec.get("policy_registry_path"),
         )
         _worker_spec = spec
     return _worker_engine

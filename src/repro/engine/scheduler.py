@@ -144,6 +144,17 @@ class RequestScheduler:
     default_timeout:
         Per-request timeout (seconds) applied when :meth:`submit` gets
         none.  ``None`` means no deadline.
+    max_terminal_tickets:
+        Retention bound for finished tickets.  Terminal tickets beyond the
+        newest *max_terminal_tickets* are dropped entirely (their ids then
+        report 404); without a bound, a long-running server's ticket table
+        grows forever.
+    terminal_events_keep:
+        How many of the newest terminal tickets keep their full event logs.
+        Older terminal tickets are truncated to just their terminal event
+        *before* any ticket is dropped — events dominate a ticket's
+        footprint (one per training episode), so truncation reclaims most
+        of the memory while status lookups keep working.
 
     The scheduler starts its workers immediately; use it as a context
     manager or call :meth:`shutdown` to stop them.
@@ -158,6 +169,8 @@ class RequestScheduler:
         max_workers: int = 2,
         workers: str = "thread",
         default_timeout: float | None = None,
+        max_terminal_tickets: int = 512,
+        terminal_events_keep: int = 64,
     ):
         if workers not in ("thread", "process"):
             raise ValueError(f"workers must be 'thread' or 'process', got {workers!r}")
@@ -165,6 +178,10 @@ class RequestScheduler:
             raise ValueError("max_pending must be positive")
         if max_workers < 1:
             raise ValueError("max_workers must be positive")
+        if max_terminal_tickets < 1:
+            raise ValueError("max_terminal_tickets must be positive")
+        if terminal_events_keep < 0:
+            raise ValueError("terminal_events_keep must be >= 0")
         if workers == "process" and engine._custom_stages:
             raise ValueError(
                 "workers='process' requires a declaratively-configured engine "
@@ -180,6 +197,11 @@ class RequestScheduler:
         self.max_pending = max_pending
         self.workers = workers
         self.default_timeout = default_timeout
+        self.max_terminal_tickets = max_terminal_tickets
+        self.terminal_events_keep = terminal_events_keep
+        #: GC telemetry, surfaced in :meth:`describe` (and hence ``/stats``).
+        self.gc_dropped_tickets = 0
+        self.gc_truncated_events = 0
         self._lock = threading.RLock()
         self._condition = threading.Condition(self._lock)
         self._queue: deque[str] = deque()
@@ -313,6 +335,7 @@ class RequestScheduler:
         ticket.events.append(
             ProgressEvent(label, EVENT_REQUEST_FINISHED, "", {"served_from_store": True})
         )
+        self._gc_terminal()
         self._condition.notify_all()
 
     # -- inspection --------------------------------------------------------------------
@@ -395,6 +418,14 @@ class RequestScheduler:
                 "states": states,
                 "default_timeout": self.default_timeout,
                 "shutdown": self._shutdown,
+                "terminal_retention": {
+                    "max_terminal_tickets": self.max_terminal_tickets,
+                    "terminal_events_keep": self.terminal_events_keep,
+                },
+                "gc": {
+                    "dropped_tickets": self.gc_dropped_tickets,
+                    "truncated_events": self.gc_truncated_events,
+                },
             }
 
     # -- cancellation ------------------------------------------------------------------
@@ -425,9 +456,11 @@ class RequestScheduler:
                     self._condition.wait()
                 if self._shutdown and not self._queue:
                     return
-                ticket = self._tickets[self._queue.popleft()]
-                if ticket.state != TICKET_QUEUED:
-                    continue  # cancelled while queued
+                # A queued id may point at a ticket that was cancelled (and
+                # possibly even GC-dropped) while waiting its turn.
+                ticket = self._tickets.get(self._queue.popleft())
+                if ticket is None or ticket.state != TICKET_QUEUED:
+                    continue
                 ticket.state = TICKET_RUNNING
                 ticket.started_at = time.time()
             self._execute(ticket)
@@ -489,6 +522,7 @@ class RequestScheduler:
             ticket.finished_at = time.time()
             ticket.result_payload = payload
             self._live_by_hash.pop(ticket.request_hash, None)
+            self._gc_terminal()
             self._condition.notify_all()
 
     def _await_terminal_event(self, ticket: Ticket, timeout: float = 30.0) -> None:
@@ -520,7 +554,36 @@ class RequestScheduler:
             ticket.error_kind = error_kind
             ticket.events.append(ProgressEvent(label, kind, "", {"error": error}))
             self._live_by_hash.pop(ticket.request_hash, None)
+            self._gc_terminal()
             self._condition.notify_all()
+
+    def _gc_terminal(self) -> None:
+        """Enforce terminal-ticket retention (caller holds the lock).
+
+        Terminal tickets sorted newest-finished-first: everything past the
+        ``terminal_events_keep`` newest has its event log truncated to the
+        terminal tail, and everything past ``max_terminal_tickets`` is
+        dropped from the table.  Only *older* tickets are touched — a
+        just-finished ticket's live SSE readers keep their full log, and a
+        reader of a truncated ticket sees a clean early close (its cursor
+        now points past the shortened log, which ``events_since`` reports
+        as done) rather than an error.
+        """
+        terminal = [
+            ticket
+            for ticket in self._tickets.values()
+            if ticket.state in TERMINAL_STATES
+        ]
+        if len(terminal) <= min(self.terminal_events_keep, self.max_terminal_tickets):
+            return
+        terminal.sort(key=lambda ticket: ticket.finished_at or 0.0, reverse=True)
+        for ticket in terminal[self.terminal_events_keep :]:
+            if len(ticket.events) > 1:
+                self.gc_truncated_events += len(ticket.events) - 1
+                del ticket.events[:-1]
+        for ticket in terminal[self.max_terminal_tickets :]:
+            self._tickets.pop(ticket.ticket_id, None)
+            self.gc_dropped_tickets += 1
 
     def _record_event(self, ticket: Ticket, event: ProgressEvent) -> None:
         with self._condition:

@@ -310,6 +310,9 @@ class LinxHttpServer:
         }
         if self.scheduler.store is not None:
             stats["store"] = self.scheduler.store.describe()
+        policy_registry = getattr(self.scheduler.engine, "policy_registry", None)
+        if policy_registry is not None:
+            stats["policy_registry"] = policy_registry.describe()
         return stats
 
     async def _respond(
@@ -411,6 +414,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--disk-cache", default=None, help="sqlite execution-cache tier path"
     )
     parser.add_argument(
+        "--policy-registry",
+        default=None,
+        help="sqlite policy registry path; serves its policies as "
+             "cdrl:<name>-v<N> session-generator stages",
+    )
+    parser.add_argument(
         "--workers",
         choices=("thread", "process"),
         default="thread",
@@ -431,6 +440,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     engine = LinxEngine(
         cdrl_config=CdrlConfig(episodes=args.episodes),
         disk_cache_path=args.disk_cache,
+        policy_registry_path=args.policy_registry,
     )
     store = ResultStore(args.store) if args.store else None
     scheduler = RequestScheduler(
@@ -449,6 +459,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"  workers={args.workers} x{args.max_workers}, queue={args.queue_size}")
         if store is not None:
             print(f"  result store: {store.path}")
+        if engine.policy_registry is not None:
+            print(f"  policy registry: {args.policy_registry} "
+                  f"({len(engine.policy_registry)} artifacts)")
         await server.serve_forever()
 
     try:

@@ -212,3 +212,66 @@ class MultiHeadPolicyNetwork:
 
     def num_parameters(self) -> int:
         return sum(weight.size for weight, _ in self.parameters())
+
+    # -- structural state export/import ---------------------------------------------------
+    def named_parameters(self) -> list[tuple[str, np.ndarray]]:
+        """Every weight array with a stable name, in :meth:`parameters` order.
+
+        The order (trunk layers, heads in insertion order, value head; weight
+        then bias each) is the contract checkpoints and optimizer-state
+        serialization rely on.
+        """
+        named: list[tuple[str, np.ndarray]] = []
+        for index, layer in enumerate(self.trunk):
+            named.append((f"trunk.{index}.weight", layer.weight))
+            named.append((f"trunk.{index}.bias", layer.bias))
+        for name, head in self.heads.items():
+            named.append((f"head.{name}.weight", head.weight))
+            named.append((f"head.{name}.bias", head.bias))
+        named.append(("value.weight", self.value_head.weight))
+        named.append(("value.bias", self.value_head.bias))
+        return named
+
+    def export_state(self) -> list[tuple[str, str, tuple[int, ...], bytes]]:
+        """The network weights as ``(name, dtype, shape, raw bytes)`` tuples.
+
+        Structural serialization (no pickled arrays): reloading reconstructs
+        the exact buffers, so an exported-and-reloaded network is bit-identical
+        to the original.
+        """
+        return [
+            (name, array.dtype.str, tuple(array.shape), array.tobytes())
+            for name, array in self.named_parameters()
+        ]
+
+    def load_state(self, state: list[tuple[str, str, tuple[int, ...], bytes]]) -> None:
+        """Load an :meth:`export_state` payload *in place*.
+
+        In-place assignment keeps every existing alias valid — optimizer
+        moments keyed by array identity, layers holding the same buffers —
+        which is what makes checkpoint restore transparent to the trainer.
+        Structural mismatches (different architecture, head set or dataset
+        schema) raise :class:`ValueError` rather than loading garbage.
+        """
+        named = self.named_parameters()
+        if len(state) != len(named):
+            raise ValueError(
+                f"state has {len(state)} buffers, network expects {len(named)}"
+            )
+        staged: list[tuple[np.ndarray, np.ndarray]] = []
+        for (name, array), (saved_name, dtype_str, shape, raw) in zip(named, state):
+            if saved_name != name:
+                raise ValueError(
+                    f"state buffer {saved_name!r} does not match network "
+                    f"parameter {name!r}"
+                )
+            loaded = np.frombuffer(raw, dtype=np.dtype(dtype_str)).reshape(shape)
+            if loaded.shape != array.shape:
+                raise ValueError(
+                    f"parameter {name!r}: stored shape {loaded.shape} does not "
+                    f"match network shape {array.shape}"
+                )
+            staged.append((array, loaded))
+        # All-or-nothing: validate every buffer before mutating any.
+        for array, loaded in staged:
+            array[...] = loaded

@@ -52,6 +52,60 @@ class Adam:
             v_hat = v / (1 - self.beta2**self._step)
             weight -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
 
+    # -- structural state export/import ------------------------------------------------
+    def export_state(
+        self, parameters: list[tuple[np.ndarray, np.ndarray]]
+    ) -> dict[str, object]:
+        """Serialize the optimiser state aligned to *parameters* order.
+
+        The internal moment table is keyed by array identity, which does not
+        survive a process boundary; exporting projects it onto the caller's
+        parameter order (the network's :meth:`~repro.rl.network.MultiHeadPolicyNetwork.parameters`
+        contract).  Parameters the optimiser has not seen yet export as
+        ``None``.
+        """
+        moments: list[tuple[str, tuple[int, ...], bytes, bytes] | None] = []
+        for weight, _ in parameters:
+            entry = self._moments.get(id(weight))
+            if entry is None:
+                moments.append(None)
+            else:
+                m, v = entry
+                moments.append((m.dtype.str, tuple(m.shape), m.tobytes(), v.tobytes()))
+        return {"step": self._step, "moments": moments}
+
+    def load_state(
+        self,
+        parameters: list[tuple[np.ndarray, np.ndarray]],
+        state: dict[str, object],
+    ) -> None:
+        """Restore an :meth:`export_state` payload against *parameters*.
+
+        Bit-identical resume: the restored moments and step counter make the
+        next :meth:`step` compute exactly what an uninterrupted run would.
+        """
+        moments = state["moments"]
+        if len(moments) != len(parameters):  # type: ignore[arg-type]
+            raise ValueError(
+                f"optimizer state covers {len(moments)} parameters, "  # type: ignore[arg-type]
+                f"got {len(parameters)}"
+            )
+        rebuilt: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for (weight, _), entry in zip(parameters, moments):  # type: ignore[arg-type]
+            if entry is None:
+                continue
+            dtype_str, shape, m_raw, v_raw = entry
+            m = np.frombuffer(m_raw, dtype=np.dtype(dtype_str)).reshape(shape).copy()
+            v = np.frombuffer(v_raw, dtype=np.dtype(dtype_str)).reshape(shape).copy()
+            if m.shape != weight.shape:
+                raise ValueError(
+                    f"moment shape {m.shape} does not match parameter shape "
+                    f"{weight.shape}"
+                )
+            rebuilt[id(weight)] = (m, v)
+        self._step = int(state["step"])
+        self._moments = rebuilt
+
 
 def _clip_scale(
     parameters: list[tuple[np.ndarray, np.ndarray]], clip_norm: float | None

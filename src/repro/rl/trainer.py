@@ -61,6 +61,54 @@ class TrainerConfig:
     #: require the trainer to be constructed with a ``vector_environment``.
     num_envs: int = 1
 
+    def validate(self, prefix: str = "") -> list:
+        """Structured validation; returns ``FieldError`` entries (empty = valid).
+
+        *prefix* lets composing configs (``CdrlConfig``) report nested fields
+        as e.g. ``trainer.episodes``.
+        """
+        # Lazy import: repro.engine.__init__ transitively imports this module,
+        # so a module-level import would create a cycle.
+        from repro.engine.errors import FieldError
+
+        errors: list[FieldError] = []
+
+        def bad(field_name: str, message: str) -> None:
+            errors.append(FieldError(field=f"{prefix}{field_name}", message=message))
+
+        if self.episodes < 1:
+            bad("episodes", f"must be >= 1, got {self.episodes}")
+        if self.batch_episodes < 1:
+            bad("batch_episodes", f"must be >= 1, got {self.batch_episodes}")
+        if self.num_envs < 1:
+            bad("num_envs", f"must be >= 1, got {self.num_envs}")
+        if not self.learning_rate > 0:
+            bad("learning_rate", f"must be > 0, got {self.learning_rate}")
+        if not 0 < self.discount <= 1:
+            bad("discount", f"must be in (0, 1], got {self.discount}")
+        if self.entropy_coefficient < 0:
+            bad(
+                "entropy_coefficient",
+                f"must be >= 0, got {self.entropy_coefficient}",
+            )
+        if self.value_coefficient < 0:
+            bad("value_coefficient", f"must be >= 0, got {self.value_coefficient}")
+        if not self.reward_scale > 0:
+            bad("reward_scale", f"must be > 0, got {self.reward_scale}")
+        if self.greedy_eval_every < 0:
+            bad("greedy_eval_every", f"must be >= 0, got {self.greedy_eval_every}")
+        if self.elite_episodes < 0:
+            bad("elite_episodes", f"must be >= 0, got {self.elite_episodes}")
+        return errors
+
+    def check(self) -> None:
+        """Raise ``RequestValidationError`` if any hyper-parameter is invalid."""
+        errors = self.validate()
+        if errors:
+            from repro.engine.errors import RequestValidationError
+
+            raise RequestValidationError(errors)
+
 
 @dataclass
 class TrainingHistory:
@@ -98,6 +146,35 @@ class TrainingHistory:
             return [1.0 for _ in smoothed]
         return [(value - bottom) / (top - bottom) for value in smoothed]
 
+    # -- JSON round-trip ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serialisable snapshot; :meth:`from_dict` inverts it losslessly."""
+        return {
+            "episode_returns": [float(value) for value in self.episode_returns],
+            "episode_steps": [int(value) for value in self.episode_steps],
+            "greedy_returns": [
+                [int(episode), float(value)] for episode, value in self.greedy_returns
+            ],
+            "cache_stats": dict(self.cache_stats) if self.cache_stats is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainingHistory":
+        """Rebuild a history from :meth:`to_dict` output (e.g. after JSON transport)."""
+        return cls(
+            episode_returns=[float(value) for value in payload.get("episode_returns", [])],
+            episode_steps=[int(value) for value in payload.get("episode_steps", [])],
+            greedy_returns=[
+                (int(episode), float(value))
+                for episode, value in payload.get("greedy_returns", [])
+            ],
+            cache_stats=(
+                dict(payload["cache_stats"])
+                if payload.get("cache_stats") is not None
+                else None
+            ),
+        )
+
 
 DecisionToChoice = Callable[[dict[str, int]], ActionChoice]
 
@@ -134,9 +211,16 @@ class PolicyGradientTrainer:
                     f"num_envs={self.config.num_envs} exceeds the vector "
                     f"environment's {vector_environment.num_envs} environments"
                 )
+        self.config.check()
         self.optimizer = Adam(learning_rate=self.config.learning_rate)
         self.history = TrainingHistory()
         self._elite: list[EpisodeBuffer] = []
+        #: Episodes collected since the last gradient update.  Held on the
+        #: trainer (not local to :meth:`train`) so external drivers — the
+        #: actor/learner fleet — can feed episodes through
+        #: :meth:`record_episode` and checkpoints can persist a mid-batch
+        #: position exactly.
+        self._batch: list[EpisodeBuffer] = []
 
     # -- rollout -------------------------------------------------------------------------
     def run_episode(self, greedy: bool = False) -> tuple[EpisodeBuffer, ExplorationSession]:
@@ -168,27 +252,6 @@ class PolicyGradientTrainer:
         evaluations — is identical in both modes.
         """
         total_episodes = episodes if episodes is not None else self.config.episodes
-        batch: list[EpisodeBuffer] = []
-
-        def record(episode: int, buffer: EpisodeBuffer, session: ExplorationSession) -> None:
-            self.history.episode_returns.append(buffer.total_reward())
-            self.history.episode_steps.append(len(buffer))
-            batch.append(buffer)
-            self._maybe_keep_elite(buffer)
-            if callback is not None:
-                callback(episode, buffer.total_reward(), session)
-            if len(batch) >= self.config.batch_episodes:
-                self._update(batch)
-                batch.clear()
-            if (
-                self.config.greedy_eval_every
-                and (episode + 1) % self.config.greedy_eval_every == 0
-            ):
-                greedy_buffer, _ = self.run_episode(greedy=True)
-                self.history.greedy_returns.append(
-                    (episode + 1, greedy_buffer.total_reward())
-                )
-
         num_envs = self.config.num_envs
         if num_envs > 1 and self.vector_environment is not None:
             from repro.explore.rollouts import collect_rollouts
@@ -206,14 +269,52 @@ class PolicyGradientTrainer:
                     reward_scale=self.config.reward_scale,
                 )
                 for buffer, session in zip(rollout.buffers, rollout.sessions):
-                    record(episode, buffer, session)
+                    self.record_episode(episode, buffer, session, callback=callback)
                     episode += 1
         else:
             for episode in range(total_episodes):
                 buffer, session = self.run_episode(greedy=False)
-                record(episode, buffer, session)
-        if batch:
-            self._update(batch)
+                self.record_episode(episode, buffer, session, callback=callback)
+        return self.finish_training()
+
+    def record_episode(
+        self,
+        episode: int,
+        buffer: EpisodeBuffer,
+        session: Optional[ExplorationSession],
+        callback: Optional[Callable[[int, float, ExplorationSession], None]] = None,
+    ) -> None:
+        """Account one collected episode: history, batching, elites, greedy evals.
+
+        This is the per-episode half of :meth:`train`, exposed so external
+        collectors (the actor/learner fleet in :mod:`repro.train`) can drive
+        the exact same bookkeeping with episodes they gathered elsewhere.
+        Gradient updates fire whenever the pending batch reaches
+        ``config.batch_episodes``.
+        """
+        self.history.episode_returns.append(buffer.total_reward())
+        self.history.episode_steps.append(len(buffer))
+        self._batch.append(buffer)
+        self._maybe_keep_elite(buffer)
+        if callback is not None:
+            callback(episode, buffer.total_reward(), session)
+        if len(self._batch) >= self.config.batch_episodes:
+            self._update(self._batch)
+            self._batch.clear()
+        if (
+            self.config.greedy_eval_every
+            and (episode + 1) % self.config.greedy_eval_every == 0
+        ):
+            greedy_buffer, _ = self.run_episode(greedy=True)
+            self.history.greedy_returns.append(
+                (episode + 1, greedy_buffer.total_reward())
+            )
+
+    def finish_training(self) -> TrainingHistory:
+        """Flush any partial batch, snapshot cache stats, and return the history."""
+        if self._batch:
+            self._update(self._batch)
+            self._batch.clear()
         self.history.cache_stats = self.environment.cache_stats()
         return self.history
 

@@ -1,0 +1,211 @@
+"""Training-tier smoke check: fleet bit-identity, resume, publish, serve.
+
+Run by CI (``python -m repro.train.smoke``) to gate the distributed
+training tier's load-bearing guarantees end to end:
+
+* a 2-actor fleet (inline) trains **bit-identical** to the single-process
+  trainer with ``num_envs=2`` — same final weights, same history;
+* a *process* fleet killed at a wave boundary and resumed from its
+  checkpoint (with a different fleet shape) finishes with the same final
+  weights — kill-and-resume is exact, and the fleet shape is operational,
+  not semantic;
+* the trained policy publishes to a :class:`~repro.train.registry.PolicyRegistry`
+  and is served over HTTP: an ``ExploreRequest`` naming
+  ``stages={"session_generator": "cdrl:smoke-v1"}`` returns a session from
+  the registered policy without training, and ``/stats`` reports the
+  registry.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.cdrl.agent import CdrlConfig
+
+from .checkpoint import TrainSpec
+from .learner import FleetLearner
+from .registry import PolicyRegistry
+
+SMOKE_LDX = """
+ROOT CHILDREN <A1,A2>
+A1 LIKE [F,delay_reason,eq,weather] and CHILDREN {B1}
+B1 LIKE [G,(?<Y>.*),mean,(?<Z>.*)]
+A2 LIKE [F,delay_reason,neq,weather] and CHILDREN {B2}
+B2 LIKE [G,(?<Y>.*),mean,(?<Z>.*)]
+"""
+
+NUM_ROWS = 150
+EPISODES = 8
+SEED = 3
+
+
+def _call(
+    port: int, method: str, path: str, body: dict[str, Any] | None = None
+) -> tuple[int, dict[str, Any]]:
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        connection.request(
+            method, path, body=payload, headers={"Content-Type": "application/json"}
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+def _history_fields(history_dict: dict) -> dict:
+    """History minus cache_stats (actors and trainer cache independently)."""
+    return {
+        key: history_dict[key]
+        for key in ("episode_returns", "episode_steps", "greedy_returns")
+    }
+
+
+def _smoke_spec() -> TrainSpec:
+    return TrainSpec(
+        dataset="flights",
+        ldx_text=SMOKE_LDX,
+        num_rows=NUM_ROWS,
+        config=CdrlConfig(episodes=EPISODES, episode_length=4, seed=SEED),
+    )
+
+
+def main() -> int:
+    spec = _smoke_spec()
+
+    # -- single-process baseline: num_envs = fleet's W*K ------------------------
+    baseline = spec.build_agent(num_envs=2)
+    baseline_history = baseline.trainer.train()
+    baseline_weights = baseline.trainer.policy.network.export_state()
+
+    # -- inline fleet W=2 x K=1 is bit-identical --------------------------------
+    with FleetLearner(spec, num_actors=2, envs_per_actor=1, workers="inline") as learner:
+        fleet_result = learner.train()
+        fleet_weights = learner.trainer.policy.network.export_state()
+        assert fleet_weights == baseline_weights, (
+            "fleet(W=2, inline) weights diverged from single-process num_envs=2"
+        )
+        assert _history_fields(fleet_result.history.to_dict()) == _history_fields(
+            baseline_history.to_dict()
+        ), "fleet history diverged from single-process history"
+    print(
+        f"fleet bit-identity ok: {EPISODES} episodes, "
+        f"utility={fleet_result.utility_score:.4f}, "
+        f"compliant={fleet_result.fully_compliant}"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="linx-train-smoke-") as tmp:
+        checkpoint_path = Path(tmp) / "run.ckpt"
+        registry_path = Path(tmp) / "policies.sqlite"
+
+        # -- kill at a wave boundary, resume with a different fleet shape -------
+        with FleetLearner(
+            spec,
+            num_actors=2,
+            envs_per_actor=1,
+            workers="process",
+            checkpoint_path=checkpoint_path,
+        ) as partial:
+            stopped_at = partial.collect_until(EPISODES // 2)
+        assert stopped_at == EPISODES // 2, f"stopped at {stopped_at}"
+        resumed = FleetLearner.from_checkpoint(
+            checkpoint_path, num_actors=1, envs_per_actor=2, workers="inline"
+        )
+        with resumed:
+            resumed_result = resumed.train()
+            resumed_weights = resumed.trainer.policy.network.export_state()
+            assert resumed_weights == baseline_weights, (
+                "kill-and-resume weights diverged from the uninterrupted run"
+            )
+            assert _history_fields(resumed_result.history.to_dict()) == (
+                _history_fields(baseline_history.to_dict())
+            ), "kill-and-resume history diverged"
+            print(
+                f"kill-and-resume ok: stopped at {stopped_at}, resumed with a "
+                "different fleet shape, weights bit-identical"
+            )
+
+            # -- publish the trained policy -------------------------------------
+            with PolicyRegistry(registry_path) as registry:
+                version = resumed.publish(
+                    registry,
+                    "smoke",
+                    metrics={"utility": resumed_result.utility_score},
+                )
+        assert version == 1, f"expected version 1, got {version}"
+
+        # -- serve it by name over HTTP -----------------------------------------
+        from repro.engine.core import LinxEngine
+        from repro.engine.request import ExploreRequest
+        from repro.engine.scheduler import RequestScheduler
+        from repro.engine.server import ServerThread
+
+        engine = LinxEngine(policy_registry_path=registry_path)
+        scheduler = RequestScheduler(engine, max_workers=1)
+        try:
+            with ServerThread(scheduler) as hosted:
+                port = hosted.port
+                status, stages = _call(port, "GET", "/stages")
+                generators = stages["stages"]["session_generator"]
+                assert "cdrl:smoke-v1" in generators, generators
+                assert "cdrl:smoke" in generators, generators
+
+                request = ExploreRequest(
+                    goal="Characterise weather-delayed flights",
+                    dataset="flights",
+                    num_rows=NUM_ROWS,
+                    ldx_text=SMOKE_LDX,
+                    episodes=4,
+                    seed=SEED,
+                    stages={"session_generator": "cdrl:smoke-v1"},
+                    request_id="train-smoke",
+                )
+                status, submitted = _call(port, "POST", "/requests", request.to_dict())
+                assert status == 202, f"submit returned {status}: {submitted}"
+                ticket = submitted["ticket"]
+                while True:
+                    status, snapshot = _call(port, "GET", f"/requests/{ticket}/result")
+                    if status != 202:
+                        break
+                    time.sleep(0.05)
+                assert status == 200, f"result returned {status}: {snapshot}"
+                result = snapshot["result"]
+                assert result["stage_names"]["session_generator"] == "cdrl:smoke-v1", (
+                    result["stage_names"]
+                )
+                assert result["operations"], "registered policy served no session"
+                assert result["episodes_trained"] == EPISODES, (
+                    f"expected episodes_trained={EPISODES}, "
+                    f"got {result['episodes_trained']}"
+                )
+
+                status, stats = _call(port, "GET", "/stats")
+                registry_stats = stats.get("policy_registry")
+                assert registry_stats is not None, "no policy_registry in /stats"
+                assert registry_stats["artifacts"] >= 1, registry_stats
+                assert registry_stats["loads"] >= 1, registry_stats
+                print(
+                    "served registered policy ok: "
+                    f"generator={result['stage_names']['session_generator']}, "
+                    f"operations={len(result['operations'])}, "
+                    f"compliant={result['fully_compliant']}, "
+                    f"episodes_trained={result['episodes_trained']}"
+                )
+                print(f"  policy registry: {registry_stats}")
+        finally:
+            scheduler.shutdown()
+            if engine.policy_registry is not None:
+                engine.policy_registry.close()
+    print("train smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -436,3 +436,82 @@ class TestProcessExecution:
         engine = LinxEngine(session_generator=TickingGenerator())
         with pytest.raises(ValueError):
             RequestScheduler(engine, workers="process")
+
+
+class TestTerminalRetention:
+    def test_constructor_validates_retention_arguments(self):
+        engine = LinxEngine(session_generator=TickingGenerator())
+        with pytest.raises(ValueError, match="max_terminal_tickets"):
+            RequestScheduler(engine, max_terminal_tickets=0)
+        with pytest.raises(ValueError, match="terminal_events_keep"):
+            RequestScheduler(engine, terminal_events_keep=-1)
+
+    def test_old_terminal_tickets_are_truncated_then_dropped(self):
+        with _scheduler(
+            max_workers=1, max_terminal_tickets=2, terminal_events_keep=1
+        ) as scheduler:
+            tickets = []
+            for index in range(4):
+                ticket = scheduler.submit(_request(request_id=f"gc-{index}", seed=index))
+                scheduler.wait(ticket.ticket_id, timeout=60)
+                tickets.append(ticket.ticket_id)
+
+            # The two oldest were dropped entirely: unknown ticket.
+            for dropped in tickets[:2]:
+                with pytest.raises(KeyError):
+                    scheduler.status(dropped)
+            # The third is retained but truncated to its terminal event.
+            events, _, done = scheduler.events_since(tickets[2])
+            assert done
+            assert [event.kind for event in events] == [EVENT_REQUEST_FINISHED]
+            assert scheduler.status(tickets[2])["state"] == TICKET_DONE
+            # The newest keeps its full event log.
+            events, _, done = scheduler.events_since(tickets[3])
+            assert done
+            kinds = [event.kind for event in events]
+            assert kinds[0] == EVENT_REQUEST_STARTED
+            assert EVENT_EPISODE in kinds
+
+            described = scheduler.describe()
+            assert described["terminal_retention"] == {
+                "max_terminal_tickets": 2,
+                "terminal_events_keep": 1,
+            }
+            assert described["gc"]["dropped_tickets"] == 2
+            assert described["gc"]["truncated_events"] > 0
+
+    def test_live_tickets_are_never_collected(self):
+        release = threading.Event()
+        generator = TickingGenerator(release=release)
+        with _scheduler(
+            generator, max_workers=1, max_terminal_tickets=1, terminal_events_keep=0
+        ) as scheduler:
+            live = scheduler.submit(_request(request_id="gc-live", seed=0))
+            try:
+                # Terminal churn while gc-live is still running: a queued
+                # ticket cancelled behind the busy worker.
+                dead = scheduler.submit(_request(request_id="gc-dead", seed=1))
+                scheduler.cancel(dead.ticket_id)
+                scheduler.wait(dead.ticket_id, timeout=60)
+                assert scheduler.status(live.ticket_id)["state"] in (
+                    "queued",
+                    "running",
+                )
+            finally:
+                release.set()
+            snapshot = scheduler.wait(live.ticket_id, timeout=60)
+            assert snapshot["state"] == TICKET_DONE
+
+    def test_default_retention_keeps_everything_small_scale(self):
+        with _scheduler(max_workers=1) as scheduler:
+            tickets = [
+                scheduler.submit(_request(request_id=f"keep-{index}", seed=index))
+                for index in range(3)
+            ]
+            for ticket in tickets:
+                scheduler.wait(ticket.ticket_id, timeout=60)
+            for ticket in tickets:
+                events, _, done = scheduler.events_since(ticket.ticket_id)
+                assert done and len(events) > 2
+            gc_stats = scheduler.describe()["gc"]
+            assert gc_stats == {"dropped_tickets": 0, "truncated_events": 0}
