@@ -150,11 +150,22 @@ class LinxCdrlAgent:
         query: LdxQuery | str,
         config: CdrlConfig | None = None,
         cache: ExecutionCache | None = None,
+        batcher=None,
     ):
         self.dataset = dataset
         self.query = parse_ldx(query) if isinstance(query, str) else query
         self.config = config or CdrlConfig()
         self.config.check()
+        # Continuous cross-request batching (opt-in via the engine): when a
+        # :class:`repro.engine.batcher.InferenceBatcher` is supplied, this
+        # agent's acting forwards join the serving tier's shared waves and
+        # its content-keyed exploration state (action space, generic-reward
+        # memos, compliance look-ahead cache, view-feature memo) comes from
+        # the batcher's :class:`SharedExplorationContext` pools.  Every
+        # shared structure memoises pure content-addressed functions, so
+        # results stay bit-identical to an unbatched run at equal seeds.
+        self.batcher = batcher
+        shared = batcher.shared if batcher is not None else None
         # A compliant session needs every required operation plus the back
         # moves that navigate between branches; allow one extra step of slack.
         episode_length = max(
@@ -162,7 +173,10 @@ class LinxCdrlAgent:
         )
         self.episode_length = episode_length
 
-        self.action_space = ActionSpace(dataset)
+        if shared is not None:
+            self.action_space = shared.action_space(dataset)
+        else:
+            self.action_space = ActionSpace(dataset)
         self.reward_strategy = ComplianceRewardStrategy(
             query=self.query,
             episode_length=episode_length,
@@ -170,6 +184,16 @@ class LinxCdrlAgent:
             graded_eos=self.config.graded_eos_reward,
             use_immediate=self.config.immediate_reward,
         )
+        if shared is not None:
+            # Feasibility look-ahead is a pure function of (specification,
+            # session-tree shape, remaining steps, completion budget); the
+            # textual LDX form keys the pool, so sharing only applies when
+            # the specification arrived as text (the serving path always
+            # does).
+            if isinstance(query, str):
+                self.reward_strategy._lookahead_cache = shared.lookahead_cache(
+                    query, self.config.compliance.immediate_max_completions
+                )
         # One execution cache is shared by training rollouts and evaluation,
         # so repeated (view, operation) pairs across episodes reuse results.
         # An externally supplied cache (e.g. the engine-wide cache of
@@ -264,7 +288,30 @@ class LinxCdrlAgent:
             decision_to_choice=decision_to_choice,
             vector_environment=self.vector_environment,
         )
-        self._generic_reward = GenericExplorationReward()
+        if shared is not None:
+            # Specification guidance (and its folded validity masks) is a
+            # pure function of (dataset, query, session structure); pool the
+            # memos so concurrent requests on the same pair share them.  As
+            # with the look-ahead cache, the textual LDX form keys the pool.
+            if isinstance(query, str) and isinstance(
+                self.policy, SpecificationAwarePolicy
+            ):
+                self.policy.adopt_shared_guidance(
+                    shared.guidance_state(
+                        query, dataset, self.config.mask_invalid_actions
+                    )
+                )
+            # One generic-reward scorer per dataset content: its memos are
+            # keyed by view fingerprints, so concurrent requests on the same
+            # dataset reuse each other's interestingness/diversity work.
+            scorer = shared.scorer(dataset)
+            self._generic_reward = scorer
+            self.reward_strategy.generic.reward = scorer
+            if self.vector_environment is not None:
+                for sibling in self.vector_environment.environments[1:]:
+                    sibling.reward_strategy.generic.reward = scorer
+        else:
+            self._generic_reward = GenericExplorationReward()
         self._best_compliant: Optional[tuple[ExplorationSession, float]] = None
 
     # -- training --------------------------------------------------------------------------
@@ -297,6 +344,52 @@ class LinxCdrlAgent:
             if episode_callback is not None:
                 episode_callback(episode, episode_return, session)
 
+        if self.batcher is not None:
+            return self._run_batched(episodes, per_episode)
+        return self._run(episodes, per_episode)
+
+    def _run_batched(self, episodes, per_episode) -> CdrlResult:
+        """Run with acting forwards routed through the shared wave thread.
+
+        The agent joins the batcher for the duration of training (so waves
+        know to wait for it), installs the policy's ``act_backend`` so every
+        acting call — training rollouts, greedy evaluations, the post-hoc
+        ``best_session`` probes — blocks on wave results, and pools its
+        environment's view-feature memo with same-shaped peers.  Learning
+        (gradient accumulation, optimizer steps) never routes through the
+        backend: it re-runs forwards on this thread, keeping update order
+        identical to the unbatched run.
+        """
+        assert self.batcher is not None
+        member = self.batcher.attach()
+        pool = self.batcher.shared.environment_pool(self.dataset)
+        pooled = False
+        try:
+            pool.attach(self.environment)
+            pooled = True
+        except ValueError:
+            # Same dataset but a different episode length or observation
+            # shape than the pool's members: keep a private feature memo.
+            pooled = False
+        policy = self.policy
+        batcher = self.batcher
+        policy.act_backend = (
+            lambda observations, biases_list, rngs, greedy: batcher.submit(
+                member, policy, observations, biases_list, rngs, greedy
+            )
+        )
+        try:
+            return self._run(episodes, per_episode)
+        finally:
+            policy.act_backend = None
+            if pooled:
+                try:
+                    pool.detach(self.environment)
+                except ValueError:  # pragma: no cover - pool was cleared
+                    pass
+            batcher.detach(member)
+
+    def _run(self, episodes, per_episode) -> CdrlResult:
         history = self.trainer.train(episodes=episodes, callback=per_episode)
         if self._best_compliant is not None:
             session, utility = self._best_compliant

@@ -92,11 +92,87 @@ class SpecificationAwarePolicy(CategoricalPolicy):
         #: inspect the ongoing session when computing the guidance.
         self.environment: Optional[ExplorationEnvironment] = None
         self._preferred = self.library.preferred_indices()
+        #: Guidance memo: the biases are a pure function of the session's
+        #: tree structure (operation signatures) and cursor position, and
+        #: episodes keep revisiting the same states -- every episode starts
+        #: from the root state, and invalid steps repeat the previous one.
+        self._guidance_memo: dict[tuple, dict[str, np.ndarray]] = {}
+        #: Same idea one level up: the complete per-state decision biases
+        #: (guidance plus folded validity masks, i.e. what `decision_biases`
+        #: returns) keyed by the same session-state key.  Both dicts may be
+        #: replaced by pooled ones (`adopt_shared_guidance`) so concurrent
+        #: batched requests on the same (dataset, query) share the work.
+        self._decision_memo: dict[tuple, dict[str, np.ndarray]] = {}
         super().__init__(network, rng=np.random.default_rng(seed), bias_provider=None)
 
+    def adopt_shared_guidance(self, state: dict) -> None:
+        """Swap the guidance/decision memos for pooled ones (see the batcher's
+        ``SharedExplorationContext.guidance_state``).  Entries are pure
+        functions of the memo key, so cross-request sharing is bit-identical;
+        dict access is GIL-atomic and values are treated as immutable."""
+        self._guidance_memo = state["guidance"]
+        self._decision_memo = state["decisions"]
+
+    #: Bound on the guidance memo; cleared wholesale when exceeded.
+    _GUIDANCE_MEMO_MAX = 4096
+
     # -- bias computation (once per step) --------------------------------------------------
+    @staticmethod
+    def _session_state_key(session) -> tuple:
+        """Hashable (cursor, tree-structure) key identifying a guidance state."""
+        parts: list[tuple[int, tuple[str, ...]]] = []
+        cursor = -1
+        stack: list[tuple] = [(session.root, -1)]
+        while stack:
+            node, parent = stack.pop()
+            position = len(parts)
+            if node is session.current:
+                cursor = position
+            parts.append((parent, node.signature()))
+            for child in reversed(node.children):
+                stack.append((child, position))
+        return (cursor, tuple(parts))
+
+    def decision_biases(self) -> dict[str, np.ndarray]:
+        """Per-state decision biases (guidance + masks), memoised by state.
+
+        The validity masks are a pure function of the current view, which —
+        for a fixed dataset — is itself determined by the session's tree
+        structure, so the complete result is memoised under the same key as
+        the guidance.  The returned dict and its arrays are shared and must
+        be treated as read-only (every consumer already copies before
+        mutating).
+        """
+        if self.environment is None:
+            return super().decision_biases()
+        key = self._session_state_key(self.environment.session)
+        cached = self._decision_memo.get(key)
+        if cached is None:
+            cached = super().decision_biases()
+            if len(self._decision_memo) >= self._GUIDANCE_MEMO_MAX:
+                self._decision_memo.clear()
+            self._decision_memo[key] = cached
+        return cached
+
     def _collect_biases(self) -> dict[str, np.ndarray]:
-        """Static specification biases plus the per-state guidance."""
+        """Static specification biases plus the per-state guidance (memoised).
+
+        Returns a fresh dict per call (downstream mask folding rebinds
+        entries) but the bias arrays themselves are shared and treated as
+        read-only by every consumer.
+        """
+        if self.environment is None:
+            return self._compute_biases()
+        key = self._session_state_key(self.environment.session)
+        cached = self._guidance_memo.get(key)
+        if cached is None:
+            cached = self._compute_biases()
+            if len(self._guidance_memo) >= self._GUIDANCE_MEMO_MAX:
+                self._guidance_memo.clear()
+            self._guidance_memo[key] = cached
+        return dict(cached)
+
+    def _compute_biases(self) -> dict[str, np.ndarray]:
         biases: dict[str, np.ndarray] = {}
         sizes = self.network.head_sizes
 

@@ -235,6 +235,17 @@ class Column:
         "_memo_minmax",
         "_memo_hash",
         "_memo_lower",
+        # Scratch slot for the interestingness scorer's per-column reference
+        # distribution (see repro.explore.interestingness); follows the same
+        # lazy convention as the other memo slots.
+        "_memo_interest",
+        # Dictionary encoding: per-row int64 codes (-1 for null) plus the
+        # decoded values in code order.  Computed as a byproduct of
+        # `_unique_stats` and inherited through `take`, so the value stats of
+        # filtered views reduce to integer bincounts instead of re-sorting
+        # string buffers.
+        "_memo_codes",
+        "_memo_code_values",
     )
 
     def __init__(self, name: str, values: Sequence[Any], dtype: str | None = None):
@@ -398,6 +409,30 @@ class Column:
 
     def _unique_stats(self) -> None:
         """Populate the distinct-value memos (first-appearance order) in one pass."""
+        try:
+            codes: np.ndarray | None = self._memo_codes
+        except AttributeError:
+            codes = None
+        if codes is not None:
+            # Inherited dictionary encoding: distinct values and counts come
+            # from integer codes, avoiding a sort of the (string) buffer.
+            # First-appearance order and the decoded value objects match the
+            # buffer-based path exactly.
+            valid = codes[codes >= 0]
+            decoded = self._memo_code_values
+            counts_by_code = np.bincount(valid, minlength=len(decoded))
+            # First occurrence per code via reversed scatter (last write wins,
+            # so writing in reverse leaves the smallest row index), then sort
+            # only the handful of present codes — never the row values.
+            first_index = np.empty(len(decoded), dtype=np.int64)
+            first_index[valid[::-1]] = np.arange(len(valid) - 1, -1, -1)
+            present = np.flatnonzero(counts_by_code)
+            ordered_codes = present[np.argsort(first_index[present], kind="stable")]
+            order = [decoded[code] for code in ordered_codes]
+            ordered_counts = counts_by_code[ordered_codes].tolist()
+            self._memo_unique = tuple(order)
+            self._memo_counts = dict(zip(order, ordered_counts))
+            return
         data, mask = self.buffers()
         if data.dtype == object:
             counts: dict[Any, int] = {}
@@ -408,14 +443,22 @@ class Column:
             self._memo_counts = counts
             return
         sub = data[~mask]
-        uniq, first_index, group_counts = np.unique(
-            sub, return_index=True, return_counts=True
+        uniq, first_index, inverse, group_counts = np.unique(
+            sub, return_index=True, return_inverse=True, return_counts=True
         )
         appearance = np.argsort(first_index, kind="stable")
         order = uniq[appearance].tolist()
         ordered_counts = group_counts[appearance].tolist()
         self._memo_unique = tuple(order)
         self._memo_counts = dict(zip(order, ordered_counts))
+        # Byproduct: per-row codes in first-appearance order, inherited by
+        # `take` so filtered views never re-sort this column's values.
+        rank = np.empty(len(uniq), dtype=np.int64)
+        rank[appearance] = np.arange(len(uniq), dtype=np.int64)
+        row_codes = np.full(len(data), -1, dtype=np.int64)
+        row_codes[~mask] = rank[inverse]
+        self._memo_codes = row_codes
+        self._memo_code_values = tuple(order)
 
     def unique(self) -> list[Any]:
         """Distinct non-null values in first-appearance order (memoised)."""
@@ -454,7 +497,14 @@ class Column:
         """Return a new column containing the rows at *indices* (in order)."""
         data, mask = self.buffers()
         idx = np.asarray(indices, dtype=np.int64)
-        return Column._from_buffers(self.name, self.dtype, data[idx], mask[idx])
+        child = Column._from_buffers(self.name, self.dtype, data[idx], mask[idx])
+        try:
+            codes = self._memo_codes
+        except AttributeError:
+            return child
+        child._memo_codes = codes[idx]
+        child._memo_code_values = self._memo_code_values
+        return child
 
     def cast(self, dtype: str) -> "Column":
         """Return a copy of the column coerced to *dtype*."""

@@ -35,6 +35,7 @@ Served (see ``examples/serve.py`` and ``python -m repro.engine.server``)::
     scheduler.wait(ticket.ticket_id)
 """
 
+from .batcher import BatchMember, InferenceBatcher, SharedExplorationContext
 from .core import (
     DEFAULT_ENGINE_MAX_CACHED_ROWS,
     PERMISSIVE_LDX,
@@ -128,6 +129,7 @@ from .store import STORE_SCHEMA_VERSION, ResultStore
 __all__ = [
     "ACTIVE_STATES",
     "AtenaSessionGenerator",
+    "BatchMember",
     "CdrlSessionGenerator",
     "ChainedSpecDeriver",
     "DEFAULT_ENGINE_MAX_CACHED_ROWS",
@@ -146,6 +148,7 @@ __all__ = [
     "ExploreRequest",
     "ExploreResult",
     "FieldError",
+    "InferenceBatcher",
     "InsightExtractor",
     "KIND_INSIGHT_EXTRACTOR",
     "KIND_NOTEBOOK_RENDERER",
@@ -183,6 +186,7 @@ __all__ = [
     "SchedulerFullError",
     "SessionGenerator",
     "SessionOutcome",
+    "SharedExplorationContext",
     "SpecDerivation",
     "SpecDeriver",
     "StageContext",

@@ -182,9 +182,30 @@ class LinxEngine:
         max_cached_rows: int | None = DEFAULT_ENGINE_MAX_CACHED_ROWS,
         disk_cache_path: str | os.PathLike | None = None,
         policy_registry_path: str | os.PathLike | None = None,
+        inference_batching: bool = False,
+        batch_linger_ms: float = 2.0,
+        max_batch_size: int = 64,
     ):
         self.llm_client = llm_client or gpt4_client()
         self.cdrl_config = cdrl_config or CdrlConfig(episodes=150)
+        # Continuous cross-request batching (opt-in): concurrent requests'
+        # policy forwards coalesce into shared stacked waves, and their
+        # content-keyed exploration state is pooled.  Results are
+        # bit-identical to unbatched execution at equal seeds, so this knob
+        # deliberately stays OUT of ``config_fingerprint()`` — batched and
+        # unbatched servers may share one result store.  Only stages that
+        # declare ``supports_batching`` receive the batcher; everything else
+        # (ATENA baseline, custom stages, process-pool workers, which
+        # rebuild engines from ``worker_spec()``) falls back to the
+        # unbatched path.
+        self.batcher = None
+        if inference_batching:
+            # Lazy import: repro.engine.batcher imports rl/explore modules.
+            from .batcher import InferenceBatcher
+
+            self.batcher = InferenceBatcher(
+                max_batch_size=max_batch_size, linger_ms=batch_linger_ms
+            )
         self.disk_cache_path = (
             str(disk_cache_path) if disk_cache_path is not None else None
         )
@@ -217,6 +238,8 @@ class LinxEngine:
         ) or cache is not None or llm_client is not None
         self._bank_lock = threading.Lock()
         self._bank: Optional[FewShotBank] = None
+        self._table_memo: dict = {}
+        self._table_memo_lock = threading.Lock()
         self.registry = STAGE_REGISTRY
         self.policy_registry_path = (
             str(policy_registry_path) if policy_registry_path is not None else None
@@ -282,6 +305,11 @@ class LinxEngine:
         """Engine-wide execution-cache statistics and occupancy."""
         return self.cache.describe()
 
+    def close(self) -> None:
+        """Release background resources (currently the batcher wave thread)."""
+        if self.batcher is not None:
+            self.batcher.close()
+
     def config_fingerprint(self) -> str:
         """Digest of this engine's result-shaping configuration.
 
@@ -344,11 +372,38 @@ class LinxEngine:
             stages[kind] = self._stage_by_name(kind, name)
         return stages
 
+    #: Resolved datasets memoised per engine (generation is deterministic
+    #: in ``(name, num_rows, seed)``, so sharing one immutable table across
+    #: requests and threads changes nothing but the time spent).
+    _TABLE_MEMO_MAX = 16
+
     def resolve_table(self, request: ExploreRequest) -> DataTable:
-        """Materialise the dataset a request refers to."""
-        return load_dataset(
-            request.dataset, num_rows=request.num_rows, seed=request.dataset_seed
-        )
+        """Materialise the dataset a request refers to (memoised).
+
+        Synthetic datasets are regenerated deterministically from
+        ``(dataset, num_rows, dataset_seed)``; under serving load every
+        request paid that generation cost again.  The memo is bounded by
+        wholesale clearing (the registry only has a handful of datasets,
+        but ``num_rows`` sweeps shouldn't grow it without bound).
+        """
+        key = (request.dataset, request.num_rows, request.dataset_seed)
+        # Generation happens *under* the lock: a burst of concurrent
+        # requests for the same dataset must not each regenerate it
+        # (thundering herd) — the first loader blocks the rest, which
+        # then hit the memo.  Generation is GIL-bound anyway, so the
+        # serialisation costs nothing in wall-clock terms.
+        with self._table_memo_lock:
+            table = self._table_memo.get(key)
+            if table is None:
+                table = load_dataset(
+                    request.dataset,
+                    num_rows=request.num_rows,
+                    seed=request.dataset_seed,
+                )
+                if len(self._table_memo) >= self._TABLE_MEMO_MAX:
+                    self._table_memo.clear()
+                self._table_memo[key] = table
+        return table
 
     # -- convenience (legacy-facade support) -----------------------------------------
     def derive_specifications(self, dataset_name: str, goal: str) -> str:
@@ -478,18 +533,23 @@ class LinxEngine:
             )
 
         guard()
+        generator = stages[KIND_SESSION_GENERATOR]
+        generate_kwargs: dict[str, Any] = {}
+        if self.batcher is not None and getattr(generator, "supports_batching", False):
+            generate_kwargs["batcher"] = self.batcher
         outcome = self._run_stage(
             result,
             STAGE_GENERATE,
             request_id,
             emit,
-            lambda: stages[KIND_SESSION_GENERATOR].generate(
+            lambda: generator.generate(
                 table,
                 ldx_text,
                 episodes=request.episodes,
                 seed=request.seed,
                 cache=self.cache,
                 on_episode=on_episode,
+                **generate_kwargs,
             ),
             required=True,
         )

@@ -258,13 +258,11 @@ class RequestScheduler:
         with self._condition:
             if self._shutdown:
                 raise RuntimeError("scheduler is shut down")
-            live = self._live_by_hash.get(request_hash)
-            if live is not None:
-                ticket = self._tickets[live]
-                if ticket.state in ACTIVE_STATES:
-                    ticket.deduplicated = True
-                    ticket.submit_snapshot = ticket.snapshot()
-                    return ticket
+            ticket = self._live_ticket(request_hash)
+            if ticket is not None:
+                ticket.deduplicated = True
+                ticket.submit_snapshot = ticket.snapshot()
+                return ticket
         # The store lookup (a sqlite read + JSON parse of a full result)
         # happens *outside* the scheduler lock so a burst of submits never
         # stalls running requests' event recording.  The races this opens —
@@ -273,20 +271,18 @@ class RequestScheduler:
         # dedup re-check below catches the former, and _execute's own
         # store re-check catches the latter.
         stored = (
-            self.store.get_payload(self._store_key(request_hash))
+            self.store.get_payload(self._store_namespace, request_hash)
             if self.store is not None
             else None
         )
         with self._condition:
             if self._shutdown:
                 raise RuntimeError("scheduler is shut down")
-            live = self._live_by_hash.get(request_hash)
-            if live is not None:
-                ticket = self._tickets[live]
-                if ticket.state in ACTIVE_STATES:
-                    ticket.deduplicated = True
-                    ticket.submit_snapshot = ticket.snapshot()
-                    return ticket
+            ticket = self._live_ticket(request_hash)
+            if ticket is not None:
+                ticket.deduplicated = True
+                ticket.submit_snapshot = ticket.snapshot()
+                return ticket
             ticket = self._new_ticket(request, request_hash, timeout)
             if stored is not None:
                 self._finish_from_store(ticket, stored)
@@ -305,9 +301,23 @@ class RequestScheduler:
             self._condition.notify_all()
             return ticket
 
-    def _store_key(self, request_hash: str) -> str:
-        """The namespaced key *request_hash* is stored under."""
-        return f"{self._store_namespace}:{request_hash}"
+    def _live_ticket(self, request_hash: str) -> Optional[Ticket]:
+        """The ACTIVE ticket for *request_hash*, if any (caller holds the lock).
+
+        Defensive against stale ``_live_by_hash`` entries: a hash whose
+        ticket turned terminal — or was dropped entirely by the
+        terminal-ticket GC — is *not* live; the mapping is pruned and the
+        caller falls through to the result store instead of crashing on a
+        missing ticket or re-executing a stored result.
+        """
+        live = self._live_by_hash.get(request_hash)
+        if live is None:
+            return None
+        ticket = self._tickets.get(live)
+        if ticket is None or ticket.state not in ACTIVE_STATES:
+            self._live_by_hash.pop(request_hash, None)
+            return None
+        return ticket
 
     def _new_ticket(
         self, request: ExploreRequest, request_hash: str, timeout: float | None
@@ -404,8 +414,21 @@ class RequestScheduler:
                         return [], cursor, False
                 self._condition.wait(timeout=remaining)
 
+    def retry_after_hint(self) -> int:
+        """Suggested ``Retry-After`` seconds when the scheduler is full.
+
+        A coarse estimate — one second of drain time per queued ticket per
+        worker thread, floored at one second — good enough for polite
+        clients to back off without a feedback loop of instant retries.
+        """
+        with self._lock:
+            depth = len(self._queue)
+            workers = max(1, len(self._threads))
+        return max(1, -(-depth // workers))
+
     def describe(self) -> dict[str, Any]:
         """Aggregate scheduler telemetry (the server's ``/stats`` section)."""
+        batcher = getattr(self.engine, "batcher", None)
         with self._lock:
             states: dict[str, int] = {}
             for ticket in self._tickets.values():
@@ -414,6 +437,8 @@ class RequestScheduler:
                 "workers": self.workers,
                 "max_pending": self.max_pending,
                 "queued": len(self._queue),
+                "queue_depth": len(self._queue),
+                "batching": batcher.describe() if batcher is not None else None,
                 "tickets": len(self._tickets),
                 "states": states,
                 "default_timeout": self.default_timeout,
@@ -470,11 +495,15 @@ class RequestScheduler:
         # while the ticket sat in the queue: serve idempotently, never
         # re-execute.
         if self.store is not None:
-            payload = self.store.get_payload(self._store_key(ticket.request_hash))
+            payload = self.store.get_payload(self._store_namespace, ticket.request_hash)
             if payload is not None:
                 with self._condition:
+                    # Drop the live mapping *before* finishing: finishing
+                    # runs the terminal-ticket GC, and a mapping that
+                    # outlives its ticket would crash later duplicate
+                    # submits instead of falling through to the store.
+                    self._drop_live(ticket)
                     self._finish_from_store(ticket, payload)
-                    self._live_by_hash.pop(ticket.request_hash, None)
                 return
         try:
             if self.workers == "thread":
@@ -510,7 +539,7 @@ class RequestScheduler:
             return
         if self.store is not None:
             try:
-                self.store.put(self._store_key(ticket.request_hash), result)
+                self.store.put(self._store_namespace, ticket.request_hash, result)
             except Exception as exc:  # noqa: BLE001
                 self._finalise(
                     ticket, TICKET_FAILED, f"result store write failed: {exc}",
@@ -521,7 +550,7 @@ class RequestScheduler:
             ticket.state = TICKET_DONE
             ticket.finished_at = time.time()
             ticket.result_payload = payload
-            self._live_by_hash.pop(ticket.request_hash, None)
+            self._drop_live(ticket)
             self._gc_terminal()
             self._condition.notify_all()
 
@@ -553,9 +582,19 @@ class RequestScheduler:
             ticket.error = error
             ticket.error_kind = error_kind
             ticket.events.append(ProgressEvent(label, kind, "", {"error": error}))
-            self._live_by_hash.pop(ticket.request_hash, None)
+            self._drop_live(ticket)
             self._gc_terminal()
             self._condition.notify_all()
+
+    def _drop_live(self, ticket: Ticket) -> None:
+        """Remove *ticket*'s live-hash mapping iff it still owns it.
+
+        A hash can be re-submitted (new ticket) while an older ticket for
+        the same hash is finishing on the cancellation path; popping
+        unconditionally would orphan the newer live ticket's dedup entry.
+        """
+        if self._live_by_hash.get(ticket.request_hash) == ticket.ticket_id:
+            self._live_by_hash.pop(ticket.request_hash, None)
 
     def _gc_terminal(self) -> None:
         """Enforce terminal-ticket retention (caller holds the lock).

@@ -242,7 +242,14 @@ class LinxHttpServer:
             await self._respond(writer, 400, exc.to_dict())
             return
         except SchedulerFullError as exc:
-            await self._respond(writer, 429, {"error": str(exc)})
+            # Back-pressure with a drain estimate: polite clients honour
+            # Retry-After instead of hammering a saturated queue.
+            await self._respond(
+                writer,
+                429,
+                {"error": str(exc)},
+                extra_headers={"Retry-After": str(self.scheduler.retry_after_hint())},
+            )
             return
         except EngineError as exc:
             await self._respond(writer, 400, {"error": str(exc)})
@@ -316,10 +323,16 @@ class LinxHttpServer:
         return stats
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict[str, Any]
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
         headers = dict(_JSON)
+        if extra_headers:
+            headers.update(extra_headers)
         headers["Content-Length"] = str(len(body))
         headers["Connection"] = "close"
         writer.write(_head(status, headers) + body)
@@ -430,6 +443,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--timeout", type=float, default=None, help="default per-request timeout (s)"
     )
+    parser.add_argument(
+        "--batching",
+        action="store_true",
+        help="coalesce concurrent requests' policy forwards into shared "
+             "inference waves (bit-identical results, higher throughput; "
+             "thread workers only)",
+    )
+    parser.add_argument(
+        "--batch-linger-ms",
+        type=float,
+        default=2.0,
+        help="straggler window before an under-full wave fires",
+    )
+    parser.add_argument(
+        "--max-batch-size", type=int, default=64, help="row cap per inference wave"
+    )
     return parser
 
 
@@ -441,6 +470,9 @@ def main(argv: Optional[list[str]] = None) -> int:
         cdrl_config=CdrlConfig(episodes=args.episodes),
         disk_cache_path=args.disk_cache,
         policy_registry_path=args.policy_registry,
+        inference_batching=args.batching,
+        batch_linger_ms=args.batch_linger_ms,
+        max_batch_size=args.max_batch_size,
     )
     store = ResultStore(args.store) if args.store else None
     scheduler = RequestScheduler(
@@ -470,6 +502,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         pass
     finally:
         scheduler.shutdown()
+        engine.close()
         if store is not None:
             store.close()
     return 0

@@ -159,6 +159,10 @@ class CdrlSessionGenerator:
     """The LINX CDRL engine as the default session-generation stage."""
 
     name = "cdrl"
+    #: The engine passes its :class:`~repro.engine.batcher.InferenceBatcher`
+    #: only to stages that declare support; stages without the flag (ATENA,
+    #: custom generators) run exactly as before.
+    supports_batching = True
 
     def __init__(self, config: CdrlConfig | None = None):
         self.config = config or CdrlConfig(episodes=150)
@@ -172,9 +176,10 @@ class CdrlSessionGenerator:
         seed: int | None = None,
         cache: ExecutionCache | None = None,
         on_episode: EpisodeCallback | None = None,
+        batcher=None,
     ) -> SessionOutcome:
         config = _seeded(self.config, seed)
-        agent = LinxCdrlAgent(table, ldx_text, config=config, cache=cache)
+        agent = LinxCdrlAgent(table, ldx_text, config=config, cache=cache, batcher=batcher)
         result = agent.run(episodes=episodes, episode_callback=on_episode)
         return SessionOutcome(
             session=result.session,

@@ -1,11 +1,15 @@
 """A persistent, sqlite-backed store of explore results keyed by request hash.
 
 The scheduler executes a request at most once: results land here under
-:meth:`ExploreRequest.canonical_hash`, so an identical resubmission — same
-goal, dataset, seeds, episode budget and stage selection — is served from
-disk byte-for-byte instead of re-training, and
+``(namespace, canonical_hash)``, so an identical resubmission — same goal,
+dataset, seeds, episode budget and stage selection — is served from disk
+byte-for-byte instead of re-training, and
 :meth:`ExploreResult.rebuild_session` turns the stored operation trace back
-into a live session for warm replay.
+into a live session for warm replay.  The *namespace* is the submitting
+engine's :meth:`~repro.engine.core.LinxEngine.config_fingerprint`, so one
+store file shared across servers with different configurations never serves
+one configuration's results for another's requests; the composite primary
+key doubles as the covering index for the hot lookup path.
 
 Durability follows :class:`~repro.explore.diskcache.DiskCacheTier` exactly:
 WAL journaling for concurrent readers beside a writer, one transaction per
@@ -13,7 +17,9 @@ insert (a cancelled or crashed request can never leave a half-written row),
 and a schema-version row that drops the store *wholesale* on mismatch —
 stale formats are discarded, never misread.  Payloads are the canonical
 JSON wire format (:meth:`ExploreResult.to_dict`), so the store doubles as a
-replay log that any JSON consumer can read.
+replay log that any JSON consumer can read.  Long-running servers bound
+disk growth with :meth:`prune`, the disk analogue of the scheduler's
+terminal-ticket GC.
 """
 
 from __future__ import annotations
@@ -30,11 +36,14 @@ from .result import ExploreResult
 #: Version of the on-disk layout (sqlite schema + result payload format).
 #: Bump on any incompatible change: a mismatching store is dropped and
 #: recreated on open, mirroring ``DiskCacheTier`` semantics.
-STORE_SCHEMA_VERSION = 1
+#: v2: namespace split into its own column — composite primary key
+#: ``(namespace, request_hash)`` covers the lookup path, and a
+#: ``created_at`` index makes :meth:`prune` a range scan.
+STORE_SCHEMA_VERSION = 2
 
 
 class ResultStore:
-    """Persistent mapping of canonical request hash → serialized result.
+    """Persistent mapping of ``(namespace, request hash)`` → serialized result.
 
     All operations are guarded by an in-process lock so one store instance
     can be shared across the scheduler's worker threads; WAL journaling
@@ -58,10 +67,11 @@ class ResultStore:
         )
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
-        #: Lookups served / fallen through / results written.
+        #: Lookups served / fallen through / results written / rows pruned.
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.pruned = 0
         #: True when a version mismatch dropped a pre-existing store.
         self.invalidated = False
         self._ensure_schema()
@@ -76,17 +86,27 @@ class ResultStore:
                 "SELECT value FROM meta WHERE key = 'schema_version'"
             ).fetchone()
             if row is not None and row[0] != str(STORE_SCHEMA_VERSION):
-                # A stale payload format: drop everything, never attempt to
-                # reinterpret old rows.
+                # A stale layout (e.g. v1's combined "namespace:hash" key
+                # column): drop everything, never attempt to reinterpret
+                # old rows.
                 self._conn.execute("DROP TABLE IF EXISTS results")
                 self.invalidated = True
+            # The composite primary key IS the covering index for the hot
+            # ``(namespace, request_hash)`` lookup; created_at gets its own
+            # index so prune() is a range scan, not a table scan.
             self._conn.execute(
                 "CREATE TABLE IF NOT EXISTS results ("
-                " request_hash TEXT PRIMARY KEY,"
+                " namespace TEXT NOT NULL,"
+                " request_hash TEXT NOT NULL,"
                 " request_id TEXT NOT NULL,"
                 " dataset TEXT NOT NULL,"
                 " payload TEXT NOT NULL,"
-                " created_at REAL NOT NULL)"
+                " created_at REAL NOT NULL,"
+                " PRIMARY KEY (namespace, request_hash))"
+            )
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS idx_results_created_at"
+                " ON results (created_at)"
             )
             self._conn.execute(
                 "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
@@ -94,8 +114,10 @@ class ResultStore:
             )
 
     # -- lookups ----------------------------------------------------------------------
-    def get_payload(self, request_hash: str) -> Optional[dict[str, Any]]:
-        """The stored result dict under *request_hash*, or ``None``.
+    def get_payload(
+        self, namespace: str, request_hash: str
+    ) -> Optional[dict[str, Any]]:
+        """The stored result dict under ``(namespace, request_hash)``, or ``None``.
 
         The raw wire-format payload — what a serving layer returns without
         re-materialising an :class:`ExploreResult`.  An unreadable payload
@@ -103,7 +125,9 @@ class ResultStore:
         """
         with self._lock:
             row = self._conn.execute(
-                "SELECT payload FROM results WHERE request_hash = ?", (request_hash,)
+                "SELECT payload FROM results"
+                " WHERE namespace = ? AND request_hash = ?",
+                (namespace, request_hash),
             ).fetchone()
             if row is None:
                 self.misses += 1
@@ -115,7 +139,8 @@ class ResultStore:
         except Exception:
             with self._lock, self._conn:
                 self._conn.execute(
-                    "DELETE FROM results WHERE request_hash = ?", (request_hash,)
+                    "DELETE FROM results WHERE namespace = ? AND request_hash = ?",
+                    (namespace, request_hash),
                 )
                 self.misses += 1
             return None
@@ -123,9 +148,9 @@ class ResultStore:
             self.hits += 1
         return payload
 
-    def get(self, request_hash: str) -> Optional[ExploreResult]:
-        """The stored :class:`ExploreResult` under *request_hash*, or ``None``."""
-        payload = self.get_payload(request_hash)
+    def get(self, namespace: str, request_hash: str) -> Optional[ExploreResult]:
+        """The stored :class:`ExploreResult`, or ``None``."""
+        payload = self.get_payload(namespace, request_hash)
         if payload is None:
             return None
         try:
@@ -138,17 +163,18 @@ class ResultStore:
                 self.misses += 1
             return None
 
-    def contains(self, request_hash: str) -> bool:
-        """Whether a result is stored under *request_hash* (no counter bump)."""
+    def contains(self, namespace: str, request_hash: str) -> bool:
+        """Whether a result is stored under the key (no counter bump)."""
         with self._lock:
             row = self._conn.execute(
-                "SELECT 1 FROM results WHERE request_hash = ?", (request_hash,)
+                "SELECT 1 FROM results WHERE namespace = ? AND request_hash = ?",
+                (namespace, request_hash),
             ).fetchone()
         return row is not None
 
     # -- writes -----------------------------------------------------------------------
-    def put(self, request_hash: str, result: ExploreResult) -> None:
-        """Persist *result* under *request_hash* in one transaction.
+    def put(self, namespace: str, request_hash: str, result: ExploreResult) -> None:
+        """Persist *result* under ``(namespace, request_hash)`` in one transaction.
 
         ``INSERT OR REPLACE`` keeps the store idempotent under concurrent
         executions of the same request (last writer wins; both wrote
@@ -158,9 +184,10 @@ class ResultStore:
         with self._lock, self._conn:
             self._conn.execute(
                 "INSERT OR REPLACE INTO results"
-                " (request_hash, request_id, dataset, payload, created_at)"
-                " VALUES (?, ?, ?, ?, ?)",
+                " (namespace, request_hash, request_id, dataset, payload, created_at)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
                 (
+                    namespace,
                     request_hash,
                     str(result.request.get("request_id", "")),
                     result.dataset_name,
@@ -170,11 +197,12 @@ class ResultStore:
             )
             self.writes += 1
 
-    def delete(self, request_hash: str) -> bool:
-        """Remove the row under *request_hash*; True when one existed."""
+    def delete(self, namespace: str, request_hash: str) -> bool:
+        """Remove the row under the key; True when one existed."""
         with self._lock, self._conn:
             cursor = self._conn.execute(
-                "DELETE FROM results WHERE request_hash = ?", (request_hash,)
+                "DELETE FROM results WHERE namespace = ? AND request_hash = ?",
+                (namespace, request_hash),
             )
             return cursor.rowcount > 0
 
@@ -185,13 +213,43 @@ class ResultStore:
                 self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
             )
 
-    def request_hashes(self) -> list[str]:
-        """Every stored hash, oldest first (the replay/audit index)."""
+    def request_hashes(self, namespace: Optional[str] = None) -> list[str]:
+        """Stored hashes, oldest first (the replay/audit index).
+
+        With *namespace*, only that configuration's hashes; without, every
+        stored hash across namespaces.
+        """
         with self._lock:
-            rows = self._conn.execute(
-                "SELECT request_hash FROM results ORDER BY created_at"
-            ).fetchall()
+            if namespace is None:
+                rows = self._conn.execute(
+                    "SELECT request_hash FROM results ORDER BY created_at"
+                ).fetchall()
+            else:
+                rows = self._conn.execute(
+                    "SELECT request_hash FROM results WHERE namespace = ?"
+                    " ORDER BY created_at",
+                    (namespace,),
+                ).fetchall()
         return [row[0] for row in rows]
+
+    def prune(self, older_than: float) -> int:
+        """Delete results written more than *older_than* seconds ago.
+
+        The disk analogue of the scheduler's terminal-ticket GC: a
+        long-running server calls this periodically so the store stays
+        bounded while recent results remain servable.  Returns the number
+        of rows removed.
+        """
+        if older_than < 0:
+            raise ValueError(f"older_than must be >= 0, got {older_than}")
+        cutoff = time.time() - older_than
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE created_at < ?", (cutoff,)
+            )
+            removed = cursor.rowcount
+            self.pruned += removed
+        return removed
 
     def clear(self) -> None:
         """Drop every stored result (the schema version row stays)."""
@@ -206,6 +264,7 @@ class ResultStore:
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "pruned": self.pruned,
             "invalidated": self.invalidated,
         }
 

@@ -10,7 +10,17 @@ from __future__ import annotations
 
 from repro.dataframe.table import DataTable
 
+from .interestingness import _reference_interest
 from .operations import Operation
+
+
+def _top_values(column) -> set:
+    """The column's first ten distinct values, memoised on the column."""
+    memo = _reference_interest(column)
+    top = memo.get("top10")
+    if top is None:
+        top = memo["top10"] = set(list(column.value_counts())[:10])
+    return top
 
 
 def result_distance(a: DataTable, b: DataTable) -> float:
@@ -37,8 +47,8 @@ def result_distance(a: DataTable, b: DataTable) -> float:
     if shared:
         overlaps = []
         for column in shared:
-            top_a = set(list(a.column(column).value_counts())[:10])
-            top_b = set(list(b.column(column).value_counts())[:10])
+            top_a = _top_values(a.column(column))
+            top_b = _top_values(b.column(column))
             if not top_a and not top_b:
                 overlaps.append(1.0)
                 continue

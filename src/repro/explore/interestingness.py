@@ -59,9 +59,29 @@ def _categorical_histogram(column: Column) -> dict[object, int]:
     return column.value_counts()
 
 
-def _normalise(counts: Mapping[object, int], support: list[object]) -> list[float]:
-    total = sum(counts.get(key, 0) for key in support) + _SMOOTHING * len(support)
-    return [(counts.get(key, 0) + _SMOOTHING) / total for key in support]
+def _normalise(counts: Mapping[object, int], support: list[object]) -> np.ndarray:
+    # One dict pass instead of two; the raw counts are integers, so the
+    # vectorised sum is exact and the result is bitwise identical to the
+    # old per-key Python loop.
+    raw = np.array([counts.get(key, 0) for key in support], dtype=np.float64)
+    total = raw.sum() + _SMOOTHING * len(support)
+    return (raw + _SMOOTHING) / total
+
+
+def _reference_interest(column: Column) -> dict:
+    """The per-column memo dict behind :func:`column_kl`'s reference side.
+
+    The *before* (pre-filter) column of a KL comparison is scored against
+    many different filtered views, so its support ordering, smoothed
+    distribution, and numeric range are cached on the column itself (columns
+    are immutable; this follows the lazy ``_memo_*`` slot convention).
+    """
+    try:
+        return column._memo_interest
+    except AttributeError:
+        memo: dict = {}
+        column._memo_interest = memo
+        return memo
 
 
 def _normalise_array(counts: np.ndarray) -> np.ndarray:
@@ -87,19 +107,69 @@ def column_kl(before: Column, after: Column) -> float:
     """KL divergence of one column's distribution after filtering vs before."""
     if len(after) == 0 or len(before) == 0:
         return 0.0
+    memo = _reference_interest(before)
     if before.is_numeric:
-        lo = float(before.min()) if before.min() is not None else 0.0
-        hi = float(before.max()) if before.max() is not None else 1.0
+        reference = memo.get("numeric")
+        if reference is None:
+            lo = float(before.min()) if before.min() is not None else 0.0
+            hi = float(before.max()) if before.max() is not None else 1.0
+            reference = memo["numeric"] = (
+                lo,
+                hi,
+                _normalise_array(_numeric_histogram(before, lo, hi)),
+            )
+        lo, hi, q = reference
         p = _normalise_array(_numeric_histogram(after, lo, hi))
-        q = _normalise_array(_numeric_histogram(before, lo, hi))
         return kl_divergence(p, q)
-    counts_before = _categorical_histogram(before)
-    counts_after = _categorical_histogram(after)
-    support = list(counts_before)
-    if not support:
+    reference = memo.get("categorical")
+    if reference is None:
+        counts_before = _categorical_histogram(before)
+        support = list(counts_before)
+        slots = {key: position for position, key in enumerate(support)}
+        # Map of dictionary-code -> support slot (-1 when the code's value
+        # does not occur in *before*), for the vectorised code path below.
+        try:
+            decoded = before._memo_code_values
+        except AttributeError:
+            code_slots = None
+            decoded = None
+        else:
+            code_slots = np.array(
+                [slots.get(value, -1) for value in decoded], dtype=np.int64
+            )
+        reference = memo["categorical"] = (
+            slots,
+            _normalise(counts_before, support),
+            decoded,
+            code_slots,
+        )
+    slots, q, decoded, code_slots = reference
+    if not slots:
         return 0.0
-    p = _normalise(counts_after, support)
-    q = _normalise(counts_before, support)
+    raw = np.zeros(len(slots), dtype=np.float64)
+    after_codes = getattr(after, "_memo_codes", None)
+    if (
+        after_codes is not None
+        and code_slots is not None
+        and after._memo_code_values is decoded
+    ):
+        # Both columns share the same dictionary encoding: the filtered
+        # counts are an integer bincount scattered through the code->slot
+        # map, with no value dictionaries touched at all.
+        valid = after_codes[after_codes >= 0]
+        counts_by_code = np.bincount(valid, minlength=len(decoded))
+        present = code_slots >= 0
+        raw[code_slots[present]] = counts_by_code[present]
+    else:
+        counts_after = _categorical_histogram(after)
+        for key, count in counts_after.items():
+            position = slots.get(key)
+            if position is not None:
+                raw[position] = count
+    # Integer counts make the vectorised total exact, so p is bitwise
+    # identical to _normalise's.
+    total = raw.sum() + _SMOOTHING * len(slots)
+    p = (raw + _SMOOTHING) / total
     return kl_divergence(p, q)
 
 

@@ -82,7 +82,17 @@ class DenseLayer:
         raise ValueError(f"unknown activation {self.activation!r}")
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        """Accumulate parameter gradients and return the gradient wrt the input."""
+        """Accumulate parameter gradients and return the gradient wrt the input.
+
+        Like the forward pass, every reduction is batch-shape independent:
+        backpropagating a ``(K, fan_out)`` gradient batch in one call is
+        bit-identical to K single-row calls in row order.  The weight
+        gradient reduces over the batch via einsum (whose k-order
+        accumulation matches a sequential row-by-row ``+=`` for
+        ``fan_in >= 2``; one-column inputs fall back to an explicit loop,
+        as does the bias, whose single-column einsum special case reorders
+        the sum).
+        """
         if grad_output.ndim == 1:
             grad_output = grad_output[None, :]
         if self.activation == "tanh":
@@ -92,9 +102,16 @@ class DenseLayer:
         if self.grad_weight is None:
             self.grad_weight = np.zeros_like(self.weight)
             self.grad_bias = np.zeros_like(self.bias)
-        self.grad_weight += self._input.T @ grad_pre
-        self.grad_bias += grad_pre.sum(axis=0)
-        return grad_pre @ self.weight.T
+        if self.weight.shape[0] >= 2:
+            self.grad_weight += np.einsum("kf,kh->fh", self._input, grad_pre)
+        else:
+            for k in range(len(grad_pre)):
+                self.grad_weight += np.einsum(
+                    "kf,kh->fh", self._input[k : k + 1], grad_pre[k : k + 1]
+                )
+        for row in grad_pre:
+            self.grad_bias += row
+        return np.einsum("kh,fh->kf", grad_pre, self.weight)
 
     def zero_grad(self) -> None:
         self.grad_weight = np.zeros_like(self.weight)
@@ -104,6 +121,115 @@ class DenseLayer:
         if self.grad_weight is None:
             self.zero_grad()
         return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+
+def architecture_signature(network: "MultiHeadPolicyNetwork") -> tuple:
+    """A hashable key of everything :func:`stacked_forward` needs to agree on.
+
+    Networks with equal signatures have identically-shaped parameters (same
+    observation size, trunk widths, and heads in the same order), so their
+    weights can be stacked along a leading axis and evaluated in one
+    gathered-weight pass.  Weight *values* are deliberately excluded — the
+    whole point is batching across networks with different weights.
+    """
+    return (
+        network.observation_size,
+        network.hidden_sizes,
+        tuple(network.head_sizes.items()),
+    )
+
+
+def stack_parameters(
+    networks: "list[MultiHeadPolicyNetwork]",
+) -> dict[str, object]:
+    """Stack the weights of architecturally identical networks per layer.
+
+    Returns the gathered-weight operands of :func:`stacked_forward`: one
+    ``(N, fan_in, fan_out)`` weight stack and ``(N, fan_out)`` bias stack
+    per trunk layer, per head, and for the value head.  Stacking copies
+    every member's parameters, which at small wave sizes costs several
+    times the forward einsum itself — callers firing many waves over the
+    same member set should cache the result keyed by each network's
+    ``weights_version`` (the continuous batcher does).
+    """
+    if not networks:
+        raise ValueError("stacked_forward needs at least one network")
+    signatures = {architecture_signature(network) for network in networks}
+    if len(signatures) > 1:
+        raise ValueError(
+            "stacked_forward needs architecturally identical networks; "
+            f"got {len(signatures)} distinct signatures"
+        )
+    reference = networks[0]
+    return {
+        "trunk": [
+            (
+                np.stack([network.trunk[i].weight for network in networks]),
+                np.stack([network.trunk[i].bias for network in networks]),
+            )
+            for i in range(len(reference.trunk))
+        ],
+        "heads": {
+            name: (
+                np.stack([network.heads[name].weight for network in networks]),
+                np.stack([network.heads[name].bias for network in networks]),
+            )
+            for name in reference.head_sizes
+        },
+        "value": (
+            np.stack([network.value_head.weight for network in networks]),
+            np.stack([network.value_head.bias for network in networks]),
+        ),
+    }
+
+
+def stacked_forward(
+    networks: "list[MultiHeadPolicyNetwork]",
+    net_index: np.ndarray,
+    observations: np.ndarray,
+    stacks: dict[str, object] | None = None,
+) -> tuple[dict[str, np.ndarray], np.ndarray]:
+    """One forward pass over rows belonging to *different* networks.
+
+    ``net_index[r]`` names the network (an index into *networks*) whose
+    weights evaluate row ``r`` of *observations*.  Per layer the member
+    weights are stacked ``(N, fan_in, fan_out)`` and gathered per row, and
+    the affine kernel becomes ``einsum("rf,rfh->rh", x, W[net_index])`` —
+    like :func:`_affine` a sum over the contiguous ``f`` axis in fixed
+    order, so row ``r`` is bit-identical to ``networks[net_index[r]]``
+    evaluating that observation alone (an explicit acceptance test).  This
+    is what lets the continuous batcher fuse policy forwards of concurrent
+    requests that each train their *own* network.
+
+    ``stacks`` short-circuits the per-call :func:`stack_parameters` with a
+    cached copy; it MUST have been built from *networks* in this order
+    with the current weight values.
+
+    Unlike :meth:`MultiHeadPolicyNetwork.forward_batch` this touches no
+    layer caches: the owning request threads re-run their own forwards at
+    gradient time, and the wave thread must never mutate their state.
+    """
+    if stacks is None:
+        stacks = stack_parameters(networks)
+    hidden = np.asarray(observations, dtype=np.float64)
+    if hidden.ndim != 2:
+        raise ValueError(f"expected a (R, F) batch, got shape {hidden.shape}")
+    index = np.asarray(net_index, dtype=np.intp)
+    if index.shape != (len(hidden),):
+        raise ValueError("need one network index per observation row")
+
+    def gathered_affine(stack: tuple[np.ndarray, np.ndarray], x: np.ndarray):
+        weight, bias = stack
+        return np.einsum("rf,rfh->rh", x, weight[index]) + bias[index]
+
+    for trunk_stack in stacks["trunk"]:
+        hidden = np.tanh(gathered_affine(trunk_stack, hidden))
+    probabilities = {
+        name: softmax(gathered_affine(head_stack, hidden))
+        for name, head_stack in stacks["heads"].items()
+    }
+    values = gathered_affine(stacks["value"], hidden)[:, 0]
+    return probabilities, values
 
 
 def softmax(logits: np.ndarray) -> np.ndarray:
@@ -142,6 +268,14 @@ class MultiHeadPolicyNetwork:
             for name, size in self.head_sizes.items()
         }
         self.value_head = DenseLayer.create(rng, fan_in, 1, activation="linear")
+        #: Monotonic counter identifying the current weight values; bumped
+        #: whenever the parameter buffers may have been mutated (optimiser
+        #: steps reach them through :meth:`parameters`, checkpoint restore
+        #: through :meth:`load_state`).  Caches of derived weight data —
+        #: the continuous batcher's per-wave weight stacks — key on
+        #: ``(id(network), weights_version)`` and so never serve stale
+        #: parameters.
+        self.weights_version = 0
 
     # -- forward --------------------------------------------------------------------------
     def forward_batch(
@@ -176,21 +310,35 @@ class MultiHeadPolicyNetwork:
     def backward(
         self,
         head_grad_logits: Mapping[str, np.ndarray],
-        value_grad: float,
+        value_grad: float | np.ndarray,
     ) -> None:
         """Backpropagate per-head logit gradients and the value-head gradient.
+
+        ``head_grad_logits`` maps head name to a ``(K, size)`` batch of
+        logit-gradient rows (a 1-D vector is a batch of one) and
+        ``value_grad`` is the matching scalar or ``(K,)`` array.  Each row
+        must come from the corresponding row of the most recent forward
+        batch — the layer caches hold that batch.  Backpropagating K rows
+        at once is bit-identical to K sequential single-row calls (the
+        layer kernels reduce over the batch in row order).
 
         The caller is responsible for converting policy-gradient losses into
         gradients with respect to the head logits (see
         :class:`repro.rl.policy.CategoricalPolicy`).
         """
-        width = self.trunk[-1].bias.shape[0] if self.trunk else self.observation_size
-        grad_hidden = np.zeros((1, width))
+        grads = {}
         for name, grad_logits in head_grad_logits.items():
-            grad_hidden = grad_hidden + self.heads[name].backward(
-                np.asarray(grad_logits)
-            )
-        grad_hidden = grad_hidden + self.value_head.backward(np.array([[value_grad]]))
+            matrix = np.asarray(grad_logits)
+            grads[name] = matrix[None, :] if matrix.ndim == 1 else matrix
+        value_column = np.asarray(value_grad, dtype=np.float64).reshape(-1, 1)
+        count = (
+            next(iter(grads.values())).shape[0] if grads else value_column.shape[0]
+        )
+        width = self.trunk[-1].bias.shape[0] if self.trunk else self.observation_size
+        grad_hidden = np.zeros((count, width))
+        for name, grad_logits in grads.items():
+            grad_hidden = grad_hidden + self.heads[name].backward(grad_logits)
+        grad_hidden = grad_hidden + self.value_head.backward(value_column)
         for layer in reversed(self.trunk):
             grad_hidden = layer.backward(grad_hidden)
 
@@ -202,6 +350,9 @@ class MultiHeadPolicyNetwork:
         self.value_head.zero_grad()
 
     def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        # Handing out the parameter buffers is how the optimiser mutates
+        # them in place, so conservatively assume they change.
+        self.weights_version += 1
         params: list[tuple[np.ndarray, np.ndarray]] = []
         for layer in self.trunk:
             params.extend(layer.parameters())
@@ -275,3 +426,4 @@ class MultiHeadPolicyNetwork:
         # All-or-nothing: validate every buffer before mutating any.
         for array, loaded in staged:
             array[...] = loaded
+        self.weights_version += 1

@@ -44,25 +44,6 @@ MaskProvider = Callable[[str], Optional[np.ndarray]]
 MASK_LOGIT_BIAS = -1e9
 
 
-def sample_index(
-    rng: np.random.Generator, probs: np.ndarray, cdf: np.ndarray | None = None
-) -> int:
-    """Inverse-CDF categorical sampling (one uniform draw per call).
-
-    This replaces ``rng.choice(n, p=probs)`` on the hot path: the Generator
-    method re-validates and re-normalises ``p`` on every call, which costs
-    more than the policy forward itself for small heads.  Consuming exactly
-    one ``rng.random()`` per head keeps per-environment RNG streams easy to
-    reason about (and to replay) in batched rollouts.  ``cdf`` lets the
-    batched caller pass one row of a precomputed row-wise cumsum instead of
-    recomputing it per draw.
-    """
-    if cdf is None:
-        cdf = np.cumsum(probs)
-    index = int(np.searchsorted(cdf, rng.random() * cdf[-1], side="right"))
-    return min(index, len(cdf) - 1)
-
-
 @dataclass
 class PolicyDecision:
     """One sampled action with everything needed for the gradient update."""
@@ -92,6 +73,15 @@ class CategoricalPolicy:
         self.rng = rng or np.random.default_rng(0)
         self.bias_provider = bias_provider
         self.mask_provider = mask_provider
+        #: Optional acting delegate ``(obs, biases_list, rngs, greedy) ->
+        #: list[PolicyDecision]``.  When set, :meth:`act_batch` routes the
+        #: fully-prepared batch there instead of running the network forward
+        #: itself — the continuous batcher installs a hook here to coalesce
+        #: this policy's rows with other requests' into one shared wave.
+        #: The delegate must be bit-identical to the local path (the batcher
+        #: is; see :mod:`repro.engine.batcher`).  Learning never routes
+        #: through it: gradient forwards stay on the owning thread.
+        self.act_backend = None
 
     # -- acting --------------------------------------------------------------------------
     def _collect_biases(self) -> dict[str, np.ndarray]:
@@ -213,23 +203,41 @@ class CategoricalPolicy:
         obs = np.asarray(observations, dtype=np.float64)
         if obs.ndim != 2:
             raise ValueError(f"expected a (K, F) observation batch, got {obs.shape}")
-        count = len(obs)
-        if len(biases_list) != count:
-            raise ValueError("need one bias mapping per observation")
-        if rngs is not None and len(rngs) != count:
-            raise ValueError("need one RNG per observation")
+        if self.act_backend is not None:
+            if len(biases_list) != len(obs):
+                raise ValueError("need one bias mapping per observation")
+            if rngs is not None and len(rngs) != len(obs):
+                raise ValueError("need one RNG per observation")
+            # Pin each row to an explicit RNG before handing off: the wave
+            # thread may interleave rows of several policies, and every row
+            # must keep sampling from its own stream (``self.rng`` rows draw
+            # in row order, exactly as the local loop below would).
+            pinned = list(rngs) if rngs is not None else [self.rng] * len(obs)
+            return self.act_backend(obs, list(biases_list), pinned, greedy)
         batch_probs, values = self.network.forward_batch(obs)
-        names = list(batch_probs)
+        return self.decisions_from_forward(
+            obs, batch_probs, values, biases_list, rngs, greedy=greedy
+        )
+
+    @staticmethod
+    def _fold_biases(
+        batch_probs: Mapping[str, np.ndarray],
+        biases_list: Sequence[dict[str, np.ndarray]],
+    ) -> dict[str, np.ndarray]:
+        """Re-softmax the rows of each head that carry a logit bias.
+
+        The batched counterpart of :meth:`_adjust_probabilities`: row ``k``
+        of every output matrix is bit-identical to the single-row fold on
+        ``biases_list[k]`` alone.  Unbiased rows keep the raw head output
+        untouched (a zero-bias fold is not a bitwise no-op).
+        """
+        count = len(biases_list)
         adjusted: dict[str, np.ndarray] = {}
-        for name in names:
-            matrix = batch_probs[name]
+        for name, matrix in batch_probs.items():
             rows = [
                 k for k in range(count) if biases_list[k].get(name) is not None
             ]
             if rows:
-                # Re-softmax only the rows that carry a bias; unbiased rows
-                # keep the raw head output untouched (a zero-bias fold is
-                # not a bitwise no-op).
                 index = np.asarray(rows)
                 bias = np.stack([biases_list[k][name] for k in rows])
                 logits = np.log(np.clip(matrix[index], 1e-12, None)) + bias
@@ -238,6 +246,33 @@ class CategoricalPolicy:
                 matrix = np.array(matrix)
                 matrix[index] = exp / exp.sum(axis=-1, keepdims=True)
             adjusted[name] = matrix
+        return adjusted
+
+    def decisions_from_forward(
+        self,
+        obs: np.ndarray,
+        batch_probs: dict[str, np.ndarray],
+        values: np.ndarray,
+        biases_list: Sequence[dict[str, np.ndarray]],
+        rngs: Sequence[np.random.Generator] | None = None,
+        greedy: bool = False,
+    ) -> list[PolicyDecision]:
+        """The post-forward half of :meth:`act_batch`.
+
+        Takes the raw head probabilities and values of a ``(K, F)`` forward
+        pass and performs everything downstream of the network — the bias
+        folds, entropy/CDF statistics and per-row sampling.  The continuous
+        batcher (:mod:`repro.engine.batcher`) calls this directly with the
+        outputs of a *stacked multi-network* forward so that rows belonging
+        to different requests still share one vectorised decision kernel.
+        """
+        count = len(obs)
+        if len(biases_list) != count:
+            raise ValueError("need one bias mapping per observation")
+        if rngs is not None and len(rngs) != count:
+            raise ValueError("need one RNG per observation")
+        names = list(batch_probs)
+        adjusted = self._fold_biases(batch_probs, biases_list)
 
         # Per-head decision statistics, batched: entropies accumulate in head
         # order (matching the scalar accumulation of a single decision) and
@@ -251,24 +286,42 @@ class CategoricalPolicy:
             if not greedy:
                 cdfs[name] = np.cumsum(matrix, axis=-1)
 
+        # Index selection, vectorised across rows.  Sampling draws the same
+        # uniforms as the scalar loop it replaced: row k consumes one draw
+        # per head, in head order, from its own stream (``Generator.random``
+        # with a size fills the array from consecutive stream values), and
+        # the inverse-CDF lookup counts ``cdf <= target`` entries — exactly
+        # ``searchsorted(..., side="right")`` on that row's cumsum.
+        chosen: dict[str, np.ndarray] = {}
+        if greedy:
+            for name in names:
+                chosen[name] = np.argmax(adjusted[name], axis=-1)
+        else:
+            draws = np.empty((count, len(names)))
+            for k in range(count):
+                rng = self.rng if rngs is None else rngs[k]
+                draws[k] = rng.random(len(names))
+            for position, name in enumerate(names):
+                cdf = cdfs[name]
+                targets = draws[:, position] * cdf[:, -1]
+                indices = (cdf <= targets[:, None]).sum(axis=-1)
+                chosen[name] = np.minimum(indices, cdf.shape[-1] - 1)
+
+        # Joint log-probabilities accumulate per head in head order, exactly
+        # like the scalar accumulation of a single decision.
+        row_range = np.arange(count)
+        log_probs = np.zeros(count)
+        for name in names:
+            picked = adjusted[name][row_range, chosen[name]]
+            log_probs += np.log(np.maximum(picked, 1e-12))
+
         decisions: list[PolicyDecision] = []
         for k in range(count):
-            rng = self.rng if rngs is None else rngs[k]
-            indices: dict[str, int] = {}
-            log_prob = 0.0
-            for name in names:
-                row = adjusted[name][k]
-                if greedy:
-                    index = int(np.argmax(row))
-                else:
-                    index = sample_index(rng, row, cdfs[name][k])
-                indices[name] = index
-                log_prob += float(np.log(max(row[index], 1e-12)))
             decisions.append(
                 PolicyDecision(
-                    indices=indices,
+                    indices={name: int(chosen[name][k]) for name in names},
                     probabilities={name: adjusted[name][k] for name in names},
-                    log_prob=log_prob,
+                    log_prob=float(log_probs[k]),
                     value=float(values[k]),
                     entropy=float(entropies[k]),
                     observation=np.array(obs[k], copy=True),
@@ -278,6 +331,60 @@ class CategoricalPolicy:
         return decisions
 
     # -- learning ------------------------------------------------------------------------
+    def accumulate_gradient_batch(
+        self,
+        decisions: Sequence[PolicyDecision],
+        advantages: Sequence[float] | np.ndarray,
+        value_targets: Sequence[float] | np.ndarray,
+        entropy_coefficient: float = 0.01,
+        value_coefficient: float = 0.5,
+    ) -> None:
+        """Accumulate gradients for a batch of decisions in one network pass.
+
+        The loss per decision is the standard actor-critic objective::
+
+            L = -advantage * log pi(a|s) + value_coef * (V(s) - target)^2
+                - entropy_coef * H(pi)
+
+        One batched re-forward replaces ``len(decisions)`` single-row
+        forwards (which dominated update cost), re-applying each row's
+        recorded logit biases so the gradient matches the sampling
+        distribution.  Bit-identity contract: because every forward and
+        backward kernel is batch-shape independent and parameter-gradient
+        accumulation reduces over the batch in row order, this call
+        produces exactly the gradients of ``len(decisions)`` sequential
+        :meth:`accumulate_gradient` calls.  Gradients are pushed into the
+        network; the caller applies the optimiser step afterwards.
+        """
+        if not decisions:
+            return
+        observations = np.stack(
+            [np.asarray(decision.observation, dtype=np.float64) for decision in decisions]
+        )
+        batch_probs, values = self.network.forward_batch(observations)
+        adjusted = self._fold_biases(
+            batch_probs, [decision.biases for decision in decisions]
+        )
+        advantage_column = np.asarray(advantages, dtype=np.float64)[:, None]
+        head_grads: dict[str, np.ndarray] = {}
+        for name, probs in adjusted.items():
+            one_hot = np.zeros_like(probs)
+            one_hot[
+                np.arange(len(decisions)),
+                [decision.indices[name] for decision in decisions],
+            ] = 1.0
+            # d(-advantage * log p_chosen)/d logits = advantage * (p - onehot)
+            grad = advantage_column * (probs - one_hot)
+            # Entropy bonus gradient: d(-H)/d logits = p * (log p + H)
+            log_p = np.log(np.clip(probs, 1e-12, None))
+            head_entropies = -(probs * log_p).sum(axis=-1, keepdims=True)
+            grad += entropy_coefficient * probs * (log_p + head_entropies)
+            head_grads[name] = grad
+        value_grads = value_coefficient * 2.0 * (
+            values - np.asarray(value_targets, dtype=np.float64)
+        )
+        self.network.backward(head_grads, value_grads)
+
     def accumulate_gradient(
         self,
         decision: PolicyDecision,
@@ -286,33 +393,14 @@ class CategoricalPolicy:
         entropy_coefficient: float = 0.01,
         value_coefficient: float = 0.5,
     ) -> None:
-        """Accumulate gradients for one decision.
-
-        The loss is the standard actor-critic objective::
-
-            L = -advantage * log pi(a|s) + value_coef * (V(s) - target)^2
-                - entropy_coef * H(pi)
-
-        Gradients are pushed into the network; the caller applies the
-        optimiser step after a batch of decisions.
-        """
-        # Re-run the forward pass so the layer caches correspond to this observation,
-        # re-applying the biases that were active when the action was sampled.
-        probabilities, value = self._head_probabilities(decision.observation, decision.biases)
-        head_grads: dict[str, np.ndarray] = {}
-        for name, probs in probabilities.items():
-            chosen = decision.indices[name]
-            one_hot = np.zeros_like(probs)
-            one_hot[chosen] = 1.0
-            # d(-advantage * log p_chosen)/d logits = advantage * (p - onehot)
-            grad = advantage * (probs - one_hot)
-            # Entropy bonus gradient: d(-H)/d logits = p * (log p + H)
-            log_p = np.log(np.clip(probs, 1e-12, None))
-            head_entropy = float(-np.sum(probs * log_p))
-            grad += entropy_coefficient * probs * (log_p + head_entropy)
-            head_grads[name] = grad
-        value_grad = value_coefficient * 2.0 * (value - value_target)
-        self.network.backward(head_grads, value_grad)
+        """Accumulate gradients for one decision (the K=1 batch kernel)."""
+        self.accumulate_gradient_batch(
+            [decision],
+            [advantage],
+            [value_target],
+            entropy_coefficient=entropy_coefficient,
+            value_coefficient=value_coefficient,
+        )
 
     def zero_grad(self) -> None:
         self.network.zero_grad()

@@ -345,14 +345,15 @@ class PolicyGradientTrainer:
         if std > 1e-8:
             advantage_array = (advantage_array - advantage_array.mean()) / std
         self.policy.zero_grad()
-        for decision, advantage, target in zip(decisions, advantage_array, targets):
-            self.policy.accumulate_gradient(
-                decision,
-                float(advantage),
-                float(target),
-                entropy_coefficient=self.config.entropy_coefficient,
-                value_coefficient=self.config.value_coefficient,
-            )
+        # One batched pass over the whole update (bit-identical to the
+        # per-decision loop it replaced; see accumulate_gradient_batch).
+        self.policy.accumulate_gradient_batch(
+            decisions,
+            advantage_array,
+            np.asarray(targets, dtype=np.float64),
+            entropy_coefficient=self.config.entropy_coefficient,
+            value_coefficient=self.config.value_coefficient,
+        )
         self.optimizer.step(self.policy.parameters())
 
     # -- evaluation ----------------------------------------------------------------------

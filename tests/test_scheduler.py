@@ -216,7 +216,7 @@ class TestCancellation:
                 # Only the completed request reached the store — a cancelled
                 # ticket never leaves a row.
                 assert len(store) == 1
-                assert not store.contains(queued.request_hash)
+                assert queued.request_hash not in store.request_hashes()
         finally:
             release.set()
             store.close()
@@ -515,3 +515,35 @@ class TestTerminalRetention:
                 assert done and len(events) > 2
             gc_stats = scheduler.describe()["gc"]
             assert gc_stats == {"dropped_tickets": 0, "truncated_events": 0}
+
+    def test_duplicate_submit_after_terminal_gc_serves_from_store(self, tmp_path):
+        """Dedup vs. ticket GC: a hash whose terminal ticket was dropped must
+        fall through to the result store, not crash or re-execute."""
+        generator = TickingGenerator()
+        store = ResultStore(tmp_path / "results.sqlite")
+        try:
+            with _scheduler(
+                generator,
+                max_workers=1,
+                store=store,
+                max_terminal_tickets=1,
+                terminal_events_keep=0,
+            ) as scheduler:
+                first = scheduler.submit(_request(seed=1))
+                scheduler.wait(first.ticket_id, timeout=60)
+                # Churn: a second, different request evicts seed-1's
+                # terminal ticket from the table.
+                churn = scheduler.submit(_request(seed=2))
+                scheduler.wait(churn.ticket_id, timeout=60)
+                with pytest.raises(KeyError):
+                    scheduler.status(first.ticket_id)
+                assert generator.calls == 2
+                # The duplicate resubmission: no live ticket, no in-table
+                # terminal ticket — served from the store, not re-executed.
+                again = scheduler.submit(_request(seed=1))
+                snapshot = scheduler.wait(again.ticket_id, timeout=30)
+                assert snapshot["state"] == TICKET_DONE
+                assert snapshot["served_from_store"] is True
+                assert generator.calls == 2
+        finally:
+            store.close()

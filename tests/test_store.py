@@ -23,6 +23,10 @@ from repro.explore.operations import FilterOperation, GroupAggOperation
 
 LDX = "ROOT CHILDREN <A1>\nA1 LIKE [G,.*]"
 
+#: Namespace used by direct-store tests (the scheduler uses the engine's
+#: config fingerprint).
+NS = "test-namespace"
+
 
 @pytest.fixture
 def store_path(tmp_path):
@@ -74,46 +78,80 @@ class CountingGenerator:
 class TestRoundTrip:
     def test_put_get_round_trips_losslessly(self, store_path, request_, executed):
         with ResultStore(store_path) as store:
-            store.put(request_.canonical_hash(), executed)
-            loaded = store.get(request_.canonical_hash())
+            store.put(NS, request_.canonical_hash(), executed)
+            loaded = store.get(NS, request_.canonical_hash())
         assert loaded == executed
         assert loaded.to_dict() == executed.to_dict()
         assert loaded.artifacts is None
 
     def test_payload_is_canonical_json(self, store_path, request_, executed):
         with ResultStore(store_path) as store:
-            store.put(request_.canonical_hash(), executed)
-            payload = store.get_payload(request_.canonical_hash())
+            store.put(NS, request_.canonical_hash(), executed)
+            payload = store.get_payload(NS, request_.canonical_hash())
         assert payload == json.loads(json.dumps(executed.to_dict()))
 
     def test_get_unknown_hash_is_a_miss(self, store_path):
         with ResultStore(store_path) as store:
-            assert store.get("no-such-hash") is None
+            assert store.get(NS, "no-such-hash") is None
             assert store.misses == 1
             assert store.hits == 0
 
     def test_survives_reopen(self, store_path, request_, executed):
         store = ResultStore(store_path)
-        store.put(request_.canonical_hash(), executed)
+        store.put(NS, request_.canonical_hash(), executed)
         store.close()
         reopened = ResultStore(store_path)
         assert not reopened.invalidated
         assert len(reopened) == 1
-        assert reopened.get(request_.canonical_hash()) == executed
+        assert reopened.get(NS, request_.canonical_hash()) == executed
         reopened.close()
 
     def test_contains_delete_clear(self, store_path, request_, executed):
         with ResultStore(store_path) as store:
             key = request_.canonical_hash()
-            assert not store.contains(key)
-            store.put(key, executed)
-            assert store.contains(key)
+            assert not store.contains(NS, key)
+            store.put(NS, key, executed)
+            assert store.contains(NS, key)
             assert store.request_hashes() == [key]
-            assert store.delete(key)
-            assert not store.delete(key)
-            store.put(key, executed)
+            assert store.request_hashes(NS) == [key]
+            assert store.request_hashes("other") == []
+            assert store.delete(NS, key)
+            assert not store.delete(NS, key)
+            store.put(NS, key, executed)
             store.clear()
             assert len(store) == 0
+
+    def test_namespaces_isolate_identical_hashes(self, store_path, request_, executed):
+        """One hash stored under two namespaces is two independent rows."""
+        with ResultStore(store_path) as store:
+            key = request_.canonical_hash()
+            store.put("config-a", key, executed)
+            assert store.get("config-b", key) is None
+            store.put("config-b", key, executed)
+            assert len(store) == 2
+            assert store.delete("config-a", key)
+            assert store.get("config-b", key) == executed
+
+    def test_prune_removes_only_old_rows(self, store_path, request_, executed):
+        with ResultStore(store_path) as store:
+            key = request_.canonical_hash()
+            store.put(NS, key, executed)
+            store.put(NS, "fresh-hash", executed)
+            # Age the first row artificially; prune must be selective.
+            with store._conn:
+                store._conn.execute(
+                    "UPDATE results SET created_at = created_at - 3600"
+                    " WHERE request_hash = ?",
+                    (key,),
+                )
+            assert store.prune(older_than=1800) == 1
+            assert store.pruned == 1
+            assert not store.contains(NS, key)
+            assert store.contains(NS, "fresh-hash")
+            assert store.prune(older_than=1800) == 0
+            with pytest.raises(ValueError):
+                store.prune(older_than=-1)
+            assert store.describe()["pruned"] == 1
 
 
 class TestIdempotentServing:
@@ -188,8 +226,8 @@ class TestReplay:
         self, store_path, request_, executed
     ):
         with ResultStore(store_path) as store:
-            store.put(request_.canonical_hash(), executed)
-            loaded = store.get(request_.canonical_hash())
+            store.put(NS, request_.canonical_hash(), executed)
+            loaded = store.get(NS, request_.canonical_hash())
         table = load_dataset(
             request_.dataset, num_rows=request_.num_rows, seed=request_.dataset_seed
         )
@@ -204,7 +242,7 @@ class TestReplay:
 class TestSchemaVersioning:
     def test_version_mismatch_drops_store_wholesale(self, store_path, request_, executed):
         store = ResultStore(store_path)
-        store.put(request_.canonical_hash(), executed)
+        store.put(NS, request_.canonical_hash(), executed)
         store.close()
         with sqlite3.connect(store_path) as connection:
             connection.execute(
@@ -214,10 +252,10 @@ class TestSchemaVersioning:
         reopened = ResultStore(store_path)
         assert reopened.invalidated
         assert len(reopened) == 0
-        assert reopened.get(request_.canonical_hash()) is None
+        assert reopened.get(NS, request_.canonical_hash()) is None
         # ... and the store is usable again at the current version.
-        reopened.put(request_.canonical_hash(), executed)
-        assert reopened.get(request_.canonical_hash()) == executed
+        reopened.put(NS, request_.canonical_hash(), executed)
+        assert reopened.get(NS, request_.canonical_hash()) == executed
         reopened.close()
         third = ResultStore(store_path)
         assert not third.invalidated
@@ -229,7 +267,7 @@ class TestSchemaVersioning:
     ):
         store = ResultStore(store_path)
         key = request_.canonical_hash()
-        store.put(key, executed)
+        store.put(NS, key, executed)
         store.close()
         with sqlite3.connect(store_path) as connection:
             connection.execute(
@@ -237,15 +275,15 @@ class TestSchemaVersioning:
                 (key,),
             )
         reopened = ResultStore(store_path)
-        assert reopened.get(key) is None
+        assert reopened.get(NS, key) is None
         assert len(reopened) == 0  # the bad row cannot keep failing
         reopened.close()
 
     def test_describe_reports_counters(self, store_path, request_, executed):
         with ResultStore(store_path) as store:
-            store.put(request_.canonical_hash(), executed)
-            store.get(request_.canonical_hash())
-            store.get("missing")
+            store.put(NS, request_.canonical_hash(), executed)
+            store.get(NS, request_.canonical_hash())
+            store.get(NS, "missing")
             summary = store.describe()
         assert summary["entries"] == 1
         assert summary["writes"] == 1
