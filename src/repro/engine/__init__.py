@@ -48,8 +48,19 @@ from .errors import (
     RequestCancelledError,
     RequestTimeoutError,
     RequestValidationError,
+    SchedulerDrainingError,
     SchedulerFullError,
     StageFailedError,
+)
+from .faults import (
+    FaultPlan,
+    FaultSpec,
+    FileCancelEvent,
+    InjectedFaultError,
+    clear_plan,
+    fault_point,
+    install_plan,
+    retry_sqlite,
 )
 from .events import (
     EVENT_EPISODE,
@@ -147,7 +158,11 @@ __all__ = [
     "EngineError",
     "ExploreRequest",
     "ExploreResult",
+    "FaultPlan",
+    "FaultSpec",
     "FieldError",
+    "FileCancelEvent",
+    "InjectedFaultError",
     "InferenceBatcher",
     "InsightExtractor",
     "KIND_INSIGHT_EXTRACTOR",
@@ -183,6 +198,7 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "SUPPORTED_REQUEST_VERSIONS",
     "SUPPORTED_RESULT_VERSIONS",
+    "SchedulerDrainingError",
     "SchedulerFullError",
     "SessionGenerator",
     "SessionOutcome",
@@ -201,7 +217,11 @@ __all__ = [
     "TICKET_QUEUED",
     "TICKET_RUNNING",
     "Ticket",
+    "clear_plan",
     "event_from_dict",
     "event_to_dict",
+    "fault_point",
+    "install_plan",
     "register_stage_factory",
+    "retry_sqlite",
 ]

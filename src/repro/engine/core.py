@@ -27,9 +27,11 @@ this class), the engine
 from __future__ import annotations
 
 import os
+import tempfile
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, TypeVar
 
 from repro.bench.generator import generate_benchmark
@@ -50,6 +52,7 @@ from repro.ldx.parser import parse_ldx, try_parse_ldx
 from repro.llm.interface import LLMClient
 from repro.llm.mock import gpt4_client
 from repro.nl2ldx.fewshot import FewShotBank
+from repro.reliability import SITE_CHECKPOINT, FileCancelEvent, fault_point
 
 from .errors import (
     FieldError,
@@ -461,6 +464,10 @@ class LinxEngine:
 
         def guard() -> None:
             # The cooperative checkpoint: cheap enough for every episode tick.
+            # The fault seam runs first so an injected hang is observed by
+            # the deadline check below — exactly how a hung stage is cut
+            # loose in production.
+            fault_point(SITE_CHECKPOINT)
             if cancel_event is not None and cancel_event.is_set():
                 raise RequestCancelledError(request_id)
             if deadline is not None and time.monotonic() > deadline:
@@ -608,6 +615,7 @@ class LinxEngine:
         observer: ProgressObserver | None = None,
         workers: str = "thread",
         timeout: float | None = None,
+        cancel_event: threading.Event | None = None,
     ) -> list[ExploreResult]:
         """Process a batch of requests, fanned out over a worker pool.
 
@@ -639,7 +647,12 @@ class LinxEngine:
 
         ``timeout`` applies *per request* in both modes; a request past its
         deadline raises :class:`~repro.engine.errors.RequestTimeoutError`
-        out of the batch.
+        out of the batch.  ``cancel_event`` cancels the whole batch
+        cooperatively — in process mode it is bridged to the workers
+        through a sentinel file (a
+        :class:`~repro.reliability.FileCancelEvent` is used directly),
+        so setting it reaches requests already running in the pool at
+        their next checkpoint.
         """
         if workers not in ("thread", "process"):
             raise ValueError(f"workers must be 'thread' or 'process', got {workers!r}")
@@ -652,12 +665,18 @@ class LinxEngine:
         ]
         if workers == "process":
             return self._explore_many_processes(
-                batch, labels, max_workers, observer, timeout
+                batch, labels, max_workers, observer, timeout, cancel_event
             )
         pool_size = max_workers if max_workers is not None else min(4, len(batch))
         if pool_size <= 1 or len(batch) == 1:
             return [
-                self.explore(request, observer=observer, timeout=timeout, _label=label)
+                self.explore(
+                    request,
+                    observer=observer,
+                    timeout=timeout,
+                    cancel_event=cancel_event,
+                    _label=label,
+                )
                 for request, label in zip(batch, labels)
             ]
         with ThreadPoolExecutor(max_workers=pool_size) as pool:
@@ -667,6 +686,7 @@ class LinxEngine:
                     request,
                     observer=observer,
                     timeout=timeout,
+                    cancel_event=cancel_event,
                     _label=label,
                 )
                 for request, label in zip(batch, labels)
@@ -680,6 +700,7 @@ class LinxEngine:
         max_workers: int | None,
         observer: ProgressObserver | None,
         timeout: float | None = None,
+        cancel_event: threading.Event | None = None,
     ) -> list[ExploreResult]:
         """Fan the batch out over processes that rebuild this engine's config."""
         if self._custom_stages:
@@ -719,6 +740,33 @@ class LinxEngine:
                 daemon=True,
             )
             drainer.start()
+
+        # Cross-process cancellation rides a sentinel file the workers poll
+        # at their cooperative checkpoints — an in-memory event cannot cross
+        # the process boundary.  A FileCancelEvent contributes its own path;
+        # any other event is bridged by a watcher thread that touches a
+        # temporary sentinel when it fires.
+        cancel_path: Optional[str] = None
+        bridge_stop: Optional[threading.Event] = None
+        bridge: Optional[threading.Thread] = None
+        if cancel_event is not None:
+            if isinstance(cancel_event, FileCancelEvent):
+                cancel_path = str(cancel_event.path)
+            else:
+                cancel_path = str(
+                    Path(tempfile.mkdtemp(prefix="linx-cancel-")) / "batch.cancel"
+                )
+                bridge_stop = threading.Event()
+
+                def _bridge_cancel() -> None:
+                    while not bridge_stop.is_set():
+                        if cancel_event.is_set():
+                            FileCancelEvent(cancel_path).set()
+                            return
+                        bridge_stop.wait(0.05)
+
+                bridge = threading.Thread(target=_bridge_cancel, daemon=True)
+                bridge.start()
         try:
             with ProcessPoolExecutor(max_workers=max(1, pool_size)) as pool:
                 futures = [
@@ -729,6 +777,7 @@ class LinxEngine:
                         label,
                         progress_queue,
                         timeout,
+                        cancel_path,
                     )
                     for request, label in zip(batch, labels)
                 ]
@@ -736,6 +785,9 @@ class LinxEngine:
                     ExploreResult.from_dict(future.result()) for future in futures
                 ]
         finally:
+            if bridge_stop is not None:
+                bridge_stop.set()
+                bridge.join(timeout=5)
             if progress_queue is not None:
                 progress_queue.put(None)
                 drainer.join(timeout=30)
@@ -891,6 +943,7 @@ def _process_worker(
     label: str = "",
     progress_queue: Any = None,
     timeout: float | None = None,
+    cancel_path: str | None = None,
 ) -> dict[str, Any]:
     """Process one serialized request in a pool worker; returns the result dict.
 
@@ -901,16 +954,22 @@ def _process_worker(
     survive across the worker's tasks.  With a *progress_queue*, every
     engine event is streamed to the parent as a ``(label, event)`` pair;
     *timeout* bounds this request cooperatively (the deadline starts when
-    the worker picks the request up, not when it was queued).
+    the worker picks the request up, not when it was queued).  With a
+    *cancel_path*, the worker polls that sentinel file at its cooperative
+    checkpoints — the cross-process half of the cancellation registry: the
+    parent's ``cancel()`` touches the file, this request stops at its next
+    stage boundary or episode tick.
     """
     engine = worker_engine(spec)
     observer = None
     if progress_queue is not None:
         observer = lambda event: progress_queue.put((label, event))  # noqa: E731
+    cancel_event = FileCancelEvent(cancel_path) if cancel_path else None
     result = engine.explore(
         ExploreRequest.from_dict(request_payload),
         observer=observer,
         timeout=timeout,
+        cancel_event=cancel_event,
         _label=label,
     )
     return result.to_dict()

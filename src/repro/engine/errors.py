@@ -123,6 +123,24 @@ class RequestTimeoutError(RequestCancelledError):
         return (RequestTimeoutError, (self.request_id, self.timeout))
 
 
+class SchedulerDrainingError(EngineError):
+    """The scheduler is draining (graceful shutdown) and accepts no new work.
+
+    Raised by :meth:`~repro.engine.scheduler.RequestScheduler.submit` after
+    a SIGTERM-initiated drain: in-flight requests finish (or release their
+    leases), but new submissions must go to another replica.  Serving
+    layers translate this into HTTP 503 so load balancers fail over.
+    """
+
+    def __init__(self, replica_id: str = ""):
+        self.replica_id = replica_id
+        suffix = f" (replica {replica_id})" if replica_id else ""
+        super().__init__(f"scheduler is draining and not accepting requests{suffix}")
+
+    def __reduce__(self):
+        return (SchedulerDrainingError, (self.replica_id,))
+
+
 class SchedulerFullError(EngineError):
     """The scheduler's bounded queue rejected a new request (back-pressure).
 

@@ -1,0 +1,109 @@
+"""Deterministic fault-injection harness for the serving tier.
+
+The serving tier's fault-tolerance claims — exactly-once execution under
+replica crashes, lease takeover, retry-under-contention, cooperative
+recovery from hung stages, torn-write resilience — are *proved* the same
+way the performance tiers prove their speedups: with a deterministic
+harness and always-on gates, not by inspection.  This module is that
+harness's engine-facing surface.
+
+A :class:`FaultPlan` scripts faults against named **sites** threaded
+through the store, scheduler, disk cache and engine seams::
+
+    from repro.engine.faults import FaultPlan, install_plan, clear_plan
+
+    install_plan(FaultPlan.crash_before_commit())
+    try:
+        ticket = scheduler.submit(request)        # executes, then "crashes"
+        scheduler.wait(ticket.ticket_id)          # -> failed, nothing stored
+    finally:
+        clear_plan()
+    scheduler.submit(request)                     # recovers: re-executes, stores once
+
+The five scripted plans mirror the real failure modes of a multi-replica
+deployment:
+
+=============================  ========================================================
+plan                           what it simulates
+=============================  ========================================================
+``crash_after_claim()``        a replica dies the instant its lease commits (the
+                               lease is held by a corpse; only expiry-based
+                               takeover recovers it) — pass ``exit_code=`` to
+                               hard-kill a subprocess replica for real
+``crash_before_commit()``      a replica dies after executing but before the
+                               result-store commit (the work is lost and must be
+                               re-executed exactly once)
+``sqlite_busy()``              a ``database is locked`` storm under multi-replica
+                               write contention (every sqlite writer must degrade
+                               to bounded retry, not request failure)
+``hung_stage()``               a stage stops making progress (the per-request
+                               deadline must cut it loose at the next checkpoint)
+``torn_cache_write()``         a half-written disk-cache payload (reads must treat
+                               it as a miss and repair, never crash or mis-serve)
+=============================  ========================================================
+
+Everything is re-exported from :mod:`repro.reliability` (stdlib-only, so
+:mod:`repro.explore.diskcache` can share the same seams without an import
+cycle); plans serialize to JSON and install through the
+:data:`~repro.reliability.FAULT_PLAN_ENV` environment variable so
+subprocess replicas — ``python -m repro.engine.serve_cluster`` — inherit
+their scripted crashes at import time.
+"""
+
+from __future__ import annotations
+
+from repro.reliability import (  # noqa: F401 — the harness surface
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    KIND_BUSY,
+    KIND_CRASH,
+    KIND_HANG,
+    KIND_TORN,
+    SITE_CACHE_PAYLOAD,
+    SITE_CACHE_WRITE,
+    SITE_CHECKPOINT,
+    SITE_CLAIM_ACQUIRED,
+    SITE_HEARTBEAT,
+    SITE_STORE_COMMIT,
+    SITE_STORE_WRITE,
+    FaultPlan,
+    FaultSpec,
+    FileCancelEvent,
+    InjectedFaultError,
+    active_plan,
+    clear_plan,
+    fault_point,
+    install_plan,
+    is_transient_sqlite_error,
+    open_sqlite_verified,
+    quarantine_sqlite,
+    retry_sqlite,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "KIND_BUSY",
+    "KIND_CRASH",
+    "KIND_HANG",
+    "KIND_TORN",
+    "SITE_CACHE_PAYLOAD",
+    "SITE_CACHE_WRITE",
+    "SITE_CHECKPOINT",
+    "SITE_CLAIM_ACQUIRED",
+    "SITE_HEARTBEAT",
+    "SITE_STORE_COMMIT",
+    "SITE_STORE_WRITE",
+    "FaultPlan",
+    "FaultSpec",
+    "FileCancelEvent",
+    "InjectedFaultError",
+    "active_plan",
+    "clear_plan",
+    "fault_point",
+    "install_plan",
+    "is_transient_sqlite_error",
+    "open_sqlite_verified",
+    "quarantine_sqlite",
+    "retry_sqlite",
+]

@@ -33,18 +33,46 @@ scheduler's own threads over the engine's shared cache;
 the same machinery as ``explore_many(workers="process")`` — with worker
 events streamed back over a multiprocessing queue and routed to tickets by
 a drainer thread.
+
+**Multi-replica coordination.**  When several schedulers (in separate
+processes, on separate servers) share one :class:`ResultStore` file, the
+store's lease table makes execution exactly-once: before running a
+request, a worker **claims** ``(namespace, canonical_hash)`` — a
+single-transaction compare-and-claim — and a request whose hash another
+replica holds waits for that replica's result instead of duplicating the
+work.  A heartbeat thread renews held leases; a replica that crashes
+stops renewing, its leases expire, and the next replica to ask *takes
+over* and re-executes.  Cancellation reaches process-pool workers through
+sentinel files under a shared directory (the cross-process cancellation
+registry), and :meth:`~RequestScheduler.drain` implements graceful
+SIGTERM shutdown: stop accepting (503 upstream), finish or release
+in-flight leases, flush the write-behind cache.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 import threading
 import time
+import traceback
+import uuid
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Optional
 
+from repro.explore.diskcache import TieredExecutionCache
+from repro.reliability import SITE_HEARTBEAT, fault_point
+
 from .core import LinxEngine, _process_worker, drain_progress_queue
-from .errors import RequestCancelledError, SchedulerFullError
+from .errors import (
+    RequestCancelledError,
+    RequestTimeoutError,
+    SchedulerDrainingError,
+    SchedulerFullError,
+)
 from .events import (
     EVENT_REQUEST_CANCELLED,
     EVENT_REQUEST_FAILED,
@@ -155,6 +183,25 @@ class RequestScheduler:
         *before* any ticket is dropped — events dominate a ticket's
         footprint (one per training episode), so truncation reclaims most
         of the memory while status lookups keep working.
+    replica_id:
+        This scheduler's identity in the store's lease table.  Defaults to
+        a per-process unique id; the cluster smoke assigns stable names.
+    lease_ttl:
+        Seconds a claimed lease stays valid without renewal.  The
+        heartbeat renews at ``lease_ttl / 3``, so a healthy replica never
+        loses a lease; a crashed one loses them after *lease_ttl* and a
+        sibling takes over.
+    heartbeat_interval:
+        Override the heartbeat period (defaults to ``lease_ttl / 3``).
+    cancel_dir:
+        Directory of the cross-process cancellation sentinels (defaults to
+        ``<store dir>/cancel``, or a temp dir without a store).  Process
+        workers poll their ticket's sentinel at engine checkpoints, so
+        :meth:`cancel` reaches requests running in the pool.
+    execution_journal:
+        Optional append-only JSON-lines file recording every ``execute``
+        (lease claimed, work starting) and ``commit`` (result stored)
+        with the replica id — the cluster smoke's exactly-once evidence.
 
     The scheduler starts its workers immediately; use it as a context
     manager or call :meth:`shutdown` to stop them.
@@ -171,6 +218,11 @@ class RequestScheduler:
         default_timeout: float | None = None,
         max_terminal_tickets: int = 512,
         terminal_events_keep: int = 64,
+        replica_id: str | None = None,
+        lease_ttl: float = 30.0,
+        heartbeat_interval: float | None = None,
+        cancel_dir: str | Path | None = None,
+        execution_journal: str | Path | None = None,
     ):
         if workers not in ("thread", "process"):
             raise ValueError(f"workers must be 'thread' or 'process', got {workers!r}")
@@ -187,8 +239,28 @@ class RequestScheduler:
                 "workers='process' requires a declaratively-configured engine "
                 "(default or registry-named stages, default LLM client and cache)"
             )
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
         self.engine = engine
         self.store = store
+        self.replica_id = (
+            replica_id
+            if replica_id is not None
+            else f"replica-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        )
+        self.lease_ttl = lease_ttl
+        self.heartbeat_interval = (
+            heartbeat_interval if heartbeat_interval is not None else lease_ttl / 3.0
+        )
+        if cancel_dir is not None:
+            self._cancel_dir = Path(cancel_dir)
+        elif store is not None:
+            self._cancel_dir = store.path.parent / "cancel"
+        else:
+            self._cancel_dir = None  # created lazily on first process cancel
+        self._journal_path = (
+            Path(execution_journal) if execution_journal is not None else None
+        )
         # Store rows are namespaced by the engine's declarative config
         # digest: a store file shared by differently-configured servers
         # (episode budgets, engine-level stage selection) never serves one
@@ -202,13 +274,20 @@ class RequestScheduler:
         #: GC telemetry, surfaced in :meth:`describe` (and hence ``/stats``).
         self.gc_dropped_tickets = 0
         self.gc_truncated_events = 0
+        #: Fault-tolerance telemetry.
+        self.lease_waits = 0
+        self.lease_renewals = 0
+        self.worker_respawns = 0
         self._lock = threading.RLock()
         self._condition = threading.Condition(self._lock)
         self._queue: deque[str] = deque()
         self._tickets: dict[str, Ticket] = {}
         self._live_by_hash: dict[str, str] = {}
+        #: Request hashes whose execution lease this replica currently holds.
+        self._held_leases: set[str] = set()
         self._ticket_counter = 0
         self._shutdown = False
+        self._draining = False
         self._pool = None
         self._manager = None
         self._progress_queue = None
@@ -227,11 +306,21 @@ class RequestScheduler:
             )
             self._drainer.start()
         self._threads = [
-            threading.Thread(target=self._worker_loop, daemon=True, name=f"linx-sched-{i}")
+            threading.Thread(target=self._worker_main, daemon=True, name=f"linx-sched-{i}")
             for i in range(max_workers)
         ]
         for thread in self._threads:
             thread.start()
+        # The lease heartbeat: renews everything this replica holds so a
+        # healthy replica never loses a lease mid-execution.  Only started
+        # with a store — without one there is nothing to coordinate.
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat: Optional[threading.Thread] = None
+        if store is not None:
+            self._heartbeat = threading.Thread(
+                target=self._heartbeat_loop, daemon=True, name="linx-sched-heartbeat"
+            )
+            self._heartbeat.start()
 
     # -- submission --------------------------------------------------------------------
     def submit(
@@ -258,6 +347,8 @@ class RequestScheduler:
         with self._condition:
             if self._shutdown:
                 raise RuntimeError("scheduler is shut down")
+            if self._draining:
+                raise SchedulerDrainingError(self.replica_id)
             ticket = self._live_ticket(request_hash)
             if ticket is not None:
                 ticket.deduplicated = True
@@ -278,6 +369,8 @@ class RequestScheduler:
         with self._condition:
             if self._shutdown:
                 raise RuntimeError("scheduler is shut down")
+            if self._draining:
+                raise SchedulerDrainingError(self.replica_id)
             ticket = self._live_ticket(request_hash)
             if ticket is not None:
                 ticket.deduplicated = True
@@ -443,6 +536,20 @@ class RequestScheduler:
                 "states": states,
                 "default_timeout": self.default_timeout,
                 "shutdown": self._shutdown,
+                "replica_id": self.replica_id,
+                "draining": self._draining,
+                "worker_respawns": self.worker_respawns,
+                "leases": {
+                    "held": len(self._held_leases),
+                    "ttl": self.lease_ttl,
+                    "waits": self.lease_waits,
+                    "renewals": self.lease_renewals,
+                    "store": (
+                        self.store.describe()["leases"]
+                        if self.store is not None
+                        else None
+                    ),
+                },
                 "terminal_retention": {
                     "max_terminal_tickets": self.max_terminal_tickets,
                     "terminal_events_keep": self.terminal_events_keep,
@@ -454,14 +561,21 @@ class RequestScheduler:
             }
 
     # -- cancellation ------------------------------------------------------------------
+    def _cancel_path(self, ticket: Ticket) -> Path:
+        """The sentinel file of *ticket* in the shared cancellation registry."""
+        if self._cancel_dir is None:
+            # No store to anchor the registry: a per-scheduler temp dir.
+            self._cancel_dir = Path(tempfile.mkdtemp(prefix="linx-cancel-"))
+        return self._cancel_dir / f"{self.replica_id}-{ticket.ticket_id}.cancel"
+
     def cancel(self, ticket_id: str) -> bool:
         """Request cancellation of *ticket_id*; True when it will take effect.
 
         Queued tickets cancel immediately.  Running tickets cancel
-        cooperatively at the engine's next checkpoint (thread mode only —
-        a request already running in a worker *process* cannot be reached
-        and reports False; its timeout still applies).  Terminal tickets
-        report False.
+        cooperatively at the engine's next checkpoint — in process mode the
+        request is reached through its sentinel file in the shared
+        cancellation registry, which the worker process polls at the same
+        checkpoints.  Terminal tickets report False.
         """
         with self._condition:
             ticket = self._tickets[ticket_id]
@@ -470,10 +584,32 @@ class RequestScheduler:
                 return True
             if ticket.state == TICKET_RUNNING:
                 ticket.cancel_event.set()
-                return self.workers == "thread"
+                if self.workers == "process":
+                    path = self._cancel_path(ticket)
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    path.touch()
+                return True
             return False
 
     # -- execution ---------------------------------------------------------------------
+    def _worker_main(self) -> None:
+        """Run :meth:`_worker_loop`, respawning it if it ever escapes.
+
+        The loop already converts per-ticket failures into ``failed``
+        tickets; this wrapper is the backstop for bugs in the loop's own
+        bookkeeping — without it, one escaped exception silently shrinks
+        the worker pool forever.
+        """
+        while True:
+            try:
+                self._worker_loop()
+                return  # clean exit: shutdown drained the loop
+            except Exception:  # noqa: BLE001 — the pool must survive anything
+                with self._condition:
+                    if self._shutdown:
+                        return
+                    self.worker_respawns += 1
+
     def _worker_loop(self) -> None:
         while True:
             with self._condition:
@@ -488,13 +624,37 @@ class RequestScheduler:
                     continue
                 ticket.state = TICKET_RUNNING
                 ticket.started_at = time.time()
-            self._execute(ticket)
+            try:
+                self._execute(ticket)
+            except Exception as exc:  # noqa: BLE001 — every failure becomes state
+                # _execute handles expected failures itself; anything that
+                # still escapes (a store driver bug, an injected crash)
+                # must neither kill this worker nor wedge the ticket.
+                self._finalise(
+                    ticket,
+                    TICKET_FAILED,
+                    f"worker error: {exc}",
+                    type(exc).__name__,
+                    extra={"traceback": traceback.format_exc()},
+                )
+            finally:
+                self._release_lease(ticket)
 
-    def _execute(self, ticket: Ticket) -> None:
-        # A sibling scheduler (or a previous run) may have stored this hash
-        # while the ticket sat in the queue: serve idempotently, never
-        # re-execute.
-        if self.store is not None:
+    def _acquire(self, ticket: Ticket) -> bool:
+        """Claim the execution lease for *ticket*; True when we should execute.
+
+        Returns False when the ticket was completed another way (served
+        from a sibling replica's stored result, cancelled, timed out, or
+        shut down while waiting).  Without a store there is nothing to
+        coordinate and execution proceeds immediately.
+        """
+        if self.store is None:
+            return True
+        poll = max(0.05, min(0.5, self.lease_ttl / 5.0))
+        first = True
+        while True:
+            # A sibling replica (or a previous run) may have stored this
+            # hash already: serve idempotently, never re-execute.
             payload = self.store.get_payload(self._store_namespace, ticket.request_hash)
             if payload is not None:
                 with self._condition:
@@ -504,7 +664,94 @@ class RequestScheduler:
                     # submits instead of falling through to the store.
                     self._drop_live(ticket)
                     self._finish_from_store(ticket, payload)
+                return False
+            if self.store.claim(
+                self._store_namespace, ticket.request_hash, self.replica_id,
+                self.lease_ttl,
+            ):
+                with self._lock:
+                    self._held_leases.add(ticket.request_hash)
+                self._journal("execute", ticket)
+                return True
+            # Another replica holds the lease: wait for its result (or its
+            # lease to expire) instead of duplicating the execution.
+            if first:
+                first = False
+                self._record_event(
+                    ticket,
+                    ProgressEvent(
+                        ticket.request.request_id or ticket.ticket_id,
+                        EVENT_REQUEST_STARTED,
+                        "",
+                        {"waiting_on_lease": True},
+                    ),
+                )
+            with self._lock:
+                self.lease_waits += 1
+            if ticket.cancel_event.is_set():
+                self._finalise(
+                    ticket, TICKET_CANCELLED,
+                    "cancelled while waiting on another replica's lease",
+                    "RequestCancelledError",
+                )
+                return False
+            if (
+                ticket.timeout is not None
+                and ticket.started_at is not None
+                and time.time() - ticket.started_at > ticket.timeout
+            ):
+                self._finalise(
+                    ticket, TICKET_CANCELLED,
+                    str(RequestTimeoutError(ticket.request.request_id, ticket.timeout)),
+                    "RequestTimeoutError",
+                )
+                return False
+            with self._condition:
+                if self._shutdown:
+                    self._finalise(
+                        ticket, TICKET_CANCELLED, "scheduler shut down",
+                        "RequestCancelledError",
+                    )
+                    return False
+                self._condition.wait(timeout=poll)
+
+    def _release_lease(self, ticket: Ticket) -> None:
+        """Release *ticket*'s execution lease if this replica holds it."""
+        if self.store is None:
+            return
+        with self._lock:
+            if ticket.request_hash not in self._held_leases:
                 return
+            self._held_leases.discard(ticket.request_hash)
+        try:
+            self.store.release(
+                self._store_namespace, ticket.request_hash, self.replica_id
+            )
+        except Exception:  # noqa: BLE001 — release is best-effort; expiry covers us
+            pass
+
+    def _journal(self, action: str, ticket: Ticket) -> None:
+        """Append an execution-journal line (exactly-once audit evidence)."""
+        if self._journal_path is None:
+            return
+        line = json.dumps(
+            {
+                "action": action,
+                "request_hash": ticket.request_hash,
+                "replica": self.replica_id,
+                "ticket": ticket.ticket_id,
+                "at": time.time(),
+            }
+        )
+        try:
+            with open(self._journal_path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        except OSError:  # pragma: no cover - journal is observability, not control
+            pass
+
+    def _execute(self, ticket: Ticket) -> None:
+        if not self._acquire(ticket):
+            return
         try:
             if self.workers == "thread":
                 result = self.engine.explore(
@@ -516,15 +763,28 @@ class RequestScheduler:
                 )
                 payload = result.to_dict()
             else:
-                future = self._pool.submit(
-                    _process_worker,
-                    ticket.request.to_dict(),
-                    self.engine.worker_spec(),
-                    ticket.ticket_id,
-                    self._progress_queue,
-                    ticket.timeout,
-                )
-                payload = future.result()
+                cancel_path = self._cancel_path(ticket)
+                if ticket.cancel_event.is_set():
+                    # Cancelled between claim and dispatch: plant the
+                    # sentinel so the worker stops at its first checkpoint.
+                    cancel_path.parent.mkdir(parents=True, exist_ok=True)
+                    cancel_path.touch()
+                try:
+                    future = self._pool.submit(
+                        _process_worker,
+                        ticket.request.to_dict(),
+                        self.engine.worker_spec(),
+                        ticket.ticket_id,
+                        self._progress_queue,
+                        ticket.timeout,
+                        str(cancel_path),
+                    )
+                    payload = future.result()
+                finally:
+                    try:
+                        cancel_path.unlink()
+                    except OSError:
+                        pass
                 result = ExploreResult.from_dict(payload)
                 # The worker's events travel asynchronously through the
                 # manager queue; wait for its terminal request_finished to
@@ -546,6 +806,7 @@ class RequestScheduler:
                     type(exc).__name__,
                 )
                 return
+            self._journal("commit", ticket)
         with self._condition:
             ticket.state = TICKET_DONE
             ticket.finished_at = time.time()
@@ -570,18 +831,34 @@ class RequestScheduler:
                     return
                 self._condition.wait(timeout=remaining)
 
-    def _finalise(self, ticket: Ticket, state: str, error: str, error_kind: str) -> None:
-        """Move *ticket* to a non-done terminal state with a closing event."""
+    def _finalise(
+        self,
+        ticket: Ticket,
+        state: str,
+        error: str,
+        error_kind: str,
+        extra: Optional[dict[str, Any]] = None,
+    ) -> None:
+        """Move *ticket* to a non-done terminal state with a closing event.
+
+        *extra* merges additional detail (e.g. a worker traceback) into the
+        terminal event's payload.
+        """
         kind = (
             EVENT_REQUEST_CANCELLED if state == TICKET_CANCELLED else EVENT_REQUEST_FAILED
         )
         label = ticket.request.request_id or ticket.ticket_id
+        payload: dict[str, Any] = {"error": error}
+        if extra:
+            payload.update(extra)
         with self._condition:
+            if ticket.state in TERMINAL_STATES:
+                return  # already finalised on another path
             ticket.state = state
             ticket.finished_at = time.time()
             ticket.error = error
             ticket.error_kind = error_kind
-            ticket.events.append(ProgressEvent(label, kind, "", {"error": error}))
+            ticket.events.append(ProgressEvent(label, kind, "", payload))
             self._drop_live(ticket)
             self._gc_terminal()
             self._condition.notify_all()
@@ -637,16 +914,68 @@ class RequestScheduler:
                 ticket.events.append(event)
                 self._condition.notify_all()
 
+    # -- lease heartbeat ---------------------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        """Renew every held lease each interval (daemon thread, best-effort).
+
+        A replica that stops heartbeating — crashed, or fault-injected at
+        :data:`~repro.reliability.SITE_HEARTBEAT` — loses its leases after
+        ``lease_ttl`` and a sibling takes over; a healthy replica renews at
+        a third of the TTL, so it never loses one mid-execution.
+        """
+        while not self._heartbeat_stop.wait(self.heartbeat_interval):
+            try:
+                fault_point(SITE_HEARTBEAT)
+                with self._lock:
+                    held = list(self._held_leases)
+                for request_hash in held:
+                    if self.store.renew(
+                        self._store_namespace, request_hash, self.replica_id,
+                        self.lease_ttl,
+                    ):
+                        with self._lock:
+                            self.lease_renewals += 1
+            except Exception:  # noqa: BLE001 — a failed beat must not kill the thread
+                continue
+
+    # -- graceful drain ----------------------------------------------------------------
+    def drain(self) -> None:
+        """Stop accepting new work while in-flight requests finish.
+
+        The SIGTERM half-measure between "serving" and :meth:`shutdown`:
+        :meth:`submit` starts raising
+        :class:`~repro.engine.errors.SchedulerDrainingError` (HTTP 503
+        upstream, so load balancers fail over), running tickets complete
+        normally (committing their results and releasing their leases),
+        and ``/healthz`` reports ``draining``.
+        """
+        with self._condition:
+            self._draining = True
+            self._condition.notify_all()
+
+    def health(self) -> dict[str, Any]:
+        """The liveness + readiness payload behind the server's ``/healthz``."""
+        with self._lock:
+            return {
+                "status": "draining" if (self._draining or self._shutdown) else "ok",
+                "replica_id": self.replica_id,
+                "leases_held": len(self._held_leases),
+                "queue_depth": len(self._queue),
+            }
+
     # -- lifecycle ---------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work, cancel queued tickets, stop the workers.
 
         Running requests finish (``wait=True`` blocks for them); queued
-        tickets move to ``cancelled``.
+        tickets move to ``cancelled``.  Held leases are released, the
+        heartbeat stops, and the engine's write-behind cache tier is
+        flushed — the graceful-termination endgame.
         """
         with self._condition:
             if self._shutdown:
                 return
+            self._draining = True
             self._shutdown = True
             for ticket_id in list(self._queue):
                 ticket = self._tickets[ticket_id]
@@ -660,6 +989,25 @@ class RequestScheduler:
         if wait:
             for thread in self._threads:
                 thread.join(timeout=300)
+        self._heartbeat_stop.set()
+        if self._heartbeat is not None:
+            self._heartbeat.join(timeout=30)
+        if self.store is not None:
+            # Anything still registered (a worker that died hard) is
+            # released here; siblings would recover via expiry regardless.
+            try:
+                self.store.release_all(self.replica_id)
+            except Exception:  # noqa: BLE001 — expiry is the backstop
+                pass
+            with self._lock:
+                self._held_leases.clear()
+        if isinstance(getattr(self.engine, "cache", None), TieredExecutionCache):
+            # Flush the write-behind buffer so the next replica (or the
+            # next start of this one) sees everything this one executed.
+            try:
+                self.engine.cache.flush()
+            except Exception:  # noqa: BLE001 — flush degradation is logged downstream
+                pass
         if self._pool is not None:
             self._pool.shutdown(wait=wait)
         if self._progress_queue is not None:

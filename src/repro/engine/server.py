@@ -16,8 +16,15 @@ method      path                               behaviour
 ``POST``    ``/requests/<ticket>/cancel``      cooperative cancellation
 ``GET``     ``/stages``                        the stage registry (names per kind)
 ``GET``     ``/stats``                         scheduler / store / cache telemetry
-``GET``     ``/healthz``                       liveness probe
+``GET``     ``/healthz``                       liveness + readiness probe
 ==========  =================================  ========================================
+
+``/healthz`` reports ``{"status": "ok"|"draining", "leases_held": N,
+"queue_depth": N}``: load balancers route away from a draining replica
+while its in-flight requests finish.  ``POST /requests`` on a draining
+replica returns 503, and running ``python -m repro.engine.server``
+handles SIGTERM as a graceful drain (stop accepting, finish or release
+in-flight leases, flush the write-behind cache) before exiting.
 
 The SSE stream emits each :class:`~repro.engine.events.ProgressEvent` as
 ``event: <kind>`` + ``data: <json>``, with the scheduler's synthesized
@@ -41,6 +48,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import signal
 import threading
 from typing import Any, Optional
 
@@ -48,6 +56,7 @@ from .core import LinxEngine
 from .errors import (
     EngineError,
     RequestValidationError,
+    SchedulerDrainingError,
     SchedulerFullError,
 )
 from .events import event_to_dict
@@ -84,6 +93,7 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -192,7 +202,9 @@ class LinxHttpServer:
         # the wrong verb gets a 405 instead of a misleading 404.
         handlers: dict[str, Any] = {}
         if path == "/healthz":
-            handlers["GET"] = lambda: self._respond(writer, 200, {"status": "ok"})
+            handlers["GET"] = lambda: self._respond(
+                writer, 200, self.scheduler.health()
+            )
         elif path == "/stats":
             handlers["GET"] = lambda: self._respond(writer, 200, self._stats())
         elif path == "/stages":
@@ -240,6 +252,11 @@ class LinxHttpServer:
             ticket = await asyncio.to_thread(self.scheduler.submit, request)
         except RequestValidationError as exc:
             await self._respond(writer, 400, exc.to_dict())
+            return
+        except SchedulerDrainingError as exc:
+            # Graceful shutdown in progress: this replica accepts no new
+            # work; 503 tells load balancers to fail over to a sibling.
+            await self._respond(writer, 503, {"error": str(exc)})
             return
         except SchedulerFullError as exc:
             # Back-pressure with a drain estimate: polite clients honour
@@ -459,6 +476,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-batch-size", type=int, default=64, help="row cap per inference wave"
     )
+    parser.add_argument(
+        "--replica-id",
+        default=None,
+        help="this server's identity in the shared store's lease table "
+             "(defaults to a per-process unique id)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds a claimed execution lease survives without heartbeat "
+             "renewal (crashed replicas lose theirs after this long)",
+    )
     return parser
 
 
@@ -482,23 +512,45 @@ def main(argv: Optional[list[str]] = None) -> int:
         max_workers=args.max_workers,
         workers=args.workers,
         default_timeout=args.timeout,
+        replica_id=args.replica_id,
+        lease_ttl=args.lease_ttl,
     )
     server = LinxHttpServer(scheduler, host=args.host, port=args.port)
 
     async def run() -> None:
         await server.start()
+        # SIGTERM drains gracefully: stop accepting (503), let in-flight
+        # requests finish (committing results, releasing leases), flush the
+        # write-behind cache in scheduler.shutdown(), then exit.  SIGINT
+        # (Ctrl-C) keeps its default KeyboardInterrupt path.
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+
+        def _drain() -> None:
+            scheduler.drain()
+            stop.set()
+
+        try:
+            loop.add_signal_handler(signal.SIGTERM, _drain)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+            pass
         print(f"linx engine serving on http://{server.host}:{server.port}")
         print(f"  workers={args.workers} x{args.max_workers}, queue={args.queue_size}")
+        print(f"  replica: {scheduler.replica_id} (lease ttl {args.lease_ttl:g}s)")
         if store is not None:
             print(f"  result store: {store.path}")
         if engine.policy_registry is not None:
             print(f"  policy registry: {args.policy_registry} "
                   f"({len(engine.policy_registry)} artifacts)")
-        await server.serve_forever()
+        serve = asyncio.ensure_future(server.serve_forever())
+        drained = asyncio.ensure_future(stop.wait())
+        await asyncio.wait({serve, drained}, return_when=asyncio.FIRST_COMPLETED)
+        serve.cancel()
+        await server.stop()
 
     try:
         asyncio.run(run())
-    except KeyboardInterrupt:
+    except (KeyboardInterrupt, asyncio.CancelledError):
         pass
     finally:
         scheduler.shutdown()

@@ -11,15 +11,26 @@ store file shared across servers with different configurations never serves
 one configuration's results for another's requests; the composite primary
 key doubles as the covering index for the hot lookup path.
 
+Beyond results, the store is the cluster's **coordination point**: the
+``leases`` table implements single-transaction compare-and-claim
+(:meth:`claim` / :meth:`renew` / :meth:`release`), so N server replicas
+sharing one store file never execute the same canonical hash concurrently
+— and a lease whose holder stops renewing (a crashed replica) expires and
+is *taken over* by the next replica to ask.
+
 Durability follows :class:`~repro.explore.diskcache.DiskCacheTier` exactly:
 WAL journaling for concurrent readers beside a writer, one transaction per
 insert (a cancelled or crashed request can never leave a half-written row),
 and a schema-version row that drops the store *wholesale* on mismatch —
-stale formats are discarded, never misread.  Payloads are the canonical
-JSON wire format (:meth:`ExploreResult.to_dict`), so the store doubles as a
-replay log that any JSON consumer can read.  Long-running servers bound
-disk growth with :meth:`prune`, the disk analogue of the scheduler's
-terminal-ticket GC.
+stale formats are discarded, never misread.  A corrupt/truncated database
+file is quarantine-renamed and rebuilt on open instead of failing engine
+construction, and every write rides the shared
+:func:`~repro.reliability.retry_sqlite` backoff helper so transient
+``database is locked`` contention between replicas degrades to a retry.
+Payloads are the canonical JSON wire format (:meth:`ExploreResult.to_dict`),
+so the store doubles as a replay log that any JSON consumer can read.
+Long-running servers bound disk growth with :meth:`prune`, the disk
+analogue of the scheduler's terminal-ticket GC.
 """
 
 from __future__ import annotations
@@ -29,16 +40,30 @@ import sqlite3
 import threading
 import time
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.reliability import (
+    SITE_CLAIM_ACQUIRED,
+    SITE_STORE_COMMIT,
+    SITE_STORE_WRITE,
+    fault_point,
+    open_sqlite_verified,
+    retry_sqlite,
+)
 
 from .result import ExploreResult
+
+T = TypeVar("T")
 
 #: Version of the on-disk layout (sqlite schema + result payload format).
 #: Bump on any incompatible change: a mismatching store is dropped and
 #: recreated on open, mirroring ``DiskCacheTier`` semantics.
 #: v2: namespace split into its own column — composite primary key
 #: ``(namespace, request_hash)`` covers the lookup path, and a
-#: ``created_at`` index makes :meth:`prune` a range scan.
+#: ``created_at`` index makes :meth:`prune` a range scan.  The ``leases``
+#: coordination table is additive (``CREATE TABLE IF NOT EXISTS``), so it
+#: does not bump the version: v2 files gain it in place, and older readers
+#: simply ignore it.
 STORE_SCHEMA_VERSION = 2
 
 
@@ -47,54 +72,70 @@ class ResultStore:
 
     All operations are guarded by an in-process lock so one store instance
     can be shared across the scheduler's worker threads; WAL journaling
-    handles concurrent *processes* on the same file.
+    handles concurrent *processes* on the same file, and sqlite's write
+    lock makes :meth:`claim` a genuine cross-process compare-and-claim.
 
     Parameters
     ----------
     path:
         The sqlite file (parent directories are created).  Conventionally
-        ``<dir>/results.sqlite``.
+        ``<dir>/results.sqlite``.  A corrupt file found here is renamed to
+        ``<name>.corrupt-<stamp>`` and a fresh store is built in its place
+        (``quarantined_path`` records the rename).
     timeout:
         Seconds a writer waits on a locked database before giving up.
     """
 
     def __init__(self, path: str | Path, timeout: float = 30.0):
         self.path = Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
-        self._conn = sqlite3.connect(
-            str(self.path), timeout=timeout, check_same_thread=False
-        )
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
         #: Lookups served / fallen through / results written / rows pruned.
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.pruned = 0
+        #: Transient ``database is locked`` write failures absorbed by the
+        #: shared backoff helper (telemetry for multi-replica contention).
+        self.write_retries = 0
+        #: Lease telemetry: successful claims, takeovers of expired leases,
+        #: renewals, releases.
+        self.lease_claims = 0
+        self.lease_takeovers = 0
+        self.lease_renewals = 0
+        self.lease_releases = 0
         #: True when a version mismatch dropped a pre-existing store.
         self.invalidated = False
-        self._ensure_schema()
+        self._conn, quarantined = open_sqlite_verified(
+            self.path, timeout, initialize=self._initialize
+        )
+        #: Where a corrupt pre-existing file was renamed on open, if any.
+        self.quarantined_path: Optional[str] = (
+            str(quarantined) if quarantined is not None else None
+        )
 
     # -- schema -----------------------------------------------------------------------
-    def _ensure_schema(self) -> None:
-        with self._lock, self._conn:
-            self._conn.execute(
+    def _initialize(self, conn: sqlite3.Connection) -> None:
+        """Pragmas + schema on a fresh connection (quarantine-retried by open)."""
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        with conn:
+            conn.execute(
                 "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
             )
-            row = self._conn.execute(
+            row = conn.execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'"
             ).fetchone()
             if row is not None and row[0] != str(STORE_SCHEMA_VERSION):
                 # A stale layout (e.g. v1's combined "namespace:hash" key
                 # column): drop everything, never attempt to reinterpret
                 # old rows.
-                self._conn.execute("DROP TABLE IF EXISTS results")
+                conn.execute("DROP TABLE IF EXISTS results")
+                conn.execute("DROP TABLE IF EXISTS leases")
                 self.invalidated = True
             # The composite primary key IS the covering index for the hot
             # ``(namespace, request_hash)`` lookup; created_at gets its own
             # index so prune() is a range scan, not a table scan.
-            self._conn.execute(
+            conn.execute(
                 "CREATE TABLE IF NOT EXISTS results ("
                 " namespace TEXT NOT NULL,"
                 " request_hash TEXT NOT NULL,"
@@ -104,14 +145,40 @@ class ResultStore:
                 " created_at REAL NOT NULL,"
                 " PRIMARY KEY (namespace, request_hash))"
             )
-            self._conn.execute(
+            conn.execute(
                 "CREATE INDEX IF NOT EXISTS idx_results_created_at"
                 " ON results (created_at)"
             )
-            self._conn.execute(
+            # The coordination table: at most one replica holds the lease
+            # for a (namespace, hash) at a time; expiry makes crashed
+            # holders recoverable.
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS leases ("
+                " namespace TEXT NOT NULL,"
+                " request_hash TEXT NOT NULL,"
+                " replica_id TEXT NOT NULL,"
+                " expires_at REAL NOT NULL,"
+                " claimed_at REAL NOT NULL,"
+                " PRIMARY KEY (namespace, request_hash))"
+            )
+            conn.execute(
                 "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
                 (str(STORE_SCHEMA_VERSION),),
             )
+
+    def _write(self, operation: Callable[[], T]) -> T:
+        """Run a write transaction through the shared backoff helper.
+
+        Transient ``database is locked`` errors from sibling replicas on
+        the same file degrade to bounded retries (counted in
+        ``write_retries``); anything else propagates unchanged.
+        """
+
+        def count_retry(attempt: int, exc: BaseException, delay: float) -> None:
+            with self._lock:
+                self.write_retries += 1
+
+        return retry_sqlite(operation, on_retry=count_retry)
 
     # -- lookups ----------------------------------------------------------------------
     def get_payload(
@@ -137,12 +204,14 @@ class ResultStore:
             if not isinstance(payload, dict):
                 raise ValueError("result payload must be a JSON object")
         except Exception:
-            with self._lock, self._conn:
-                self._conn.execute(
-                    "DELETE FROM results WHERE namespace = ? AND request_hash = ?",
-                    (namespace, request_hash),
-                )
-                self.misses += 1
+            def remove() -> None:
+                with self._lock, self._conn:
+                    self._conn.execute(
+                        "DELETE FROM results WHERE namespace = ? AND request_hash = ?",
+                        (namespace, request_hash),
+                    )
+                    self.misses += 1
+            self._write(remove)
             return None
         with self._lock:
             self.hits += 1
@@ -181,30 +250,188 @@ class ResultStore:
         identical work).
         """
         payload = json.dumps(result.to_dict())
-        with self._lock, self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO results"
-                " (namespace, request_hash, request_id, dataset, payload, created_at)"
-                " VALUES (?, ?, ?, ?, ?, ?)",
-                (
-                    namespace,
-                    request_hash,
-                    str(result.request.get("request_id", "")),
-                    result.dataset_name,
-                    payload,
-                    time.time(),
-                ),
-            )
-            self.writes += 1
+        fault_point(SITE_STORE_COMMIT)
+
+        def insert() -> None:
+            with self._lock, self._conn:
+                fault_point(SITE_STORE_WRITE)
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO results"
+                    " (namespace, request_hash, request_id, dataset, payload, created_at)"
+                    " VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        namespace,
+                        request_hash,
+                        str(result.request.get("request_id", "")),
+                        result.dataset_name,
+                        payload,
+                        time.time(),
+                    ),
+                )
+                self.writes += 1
+
+        self._write(insert)
 
     def delete(self, namespace: str, request_hash: str) -> bool:
         """Remove the row under the key; True when one existed."""
-        with self._lock, self._conn:
-            cursor = self._conn.execute(
-                "DELETE FROM results WHERE namespace = ? AND request_hash = ?",
-                (namespace, request_hash),
-            )
-            return cursor.rowcount > 0
+
+        def remove() -> bool:
+            with self._lock, self._conn:
+                cursor = self._conn.execute(
+                    "DELETE FROM results WHERE namespace = ? AND request_hash = ?",
+                    (namespace, request_hash),
+                )
+                return cursor.rowcount > 0
+
+        return self._write(remove)
+
+    # -- leases (cross-replica exactly-once coordination) -----------------------------
+    def claim(
+        self, namespace: str, request_hash: str, replica_id: str, ttl: float
+    ) -> bool:
+        """Compare-and-claim the execution lease for ``(namespace, request_hash)``.
+
+        One atomic upsert: the claim succeeds when no lease row exists, the
+        existing lease has **expired** (its holder stopped renewing — a
+        takeover, counted in ``lease_takeovers``), or *replica_id* already
+        holds it (re-entrant).  A live lease held by another replica leaves
+        the row untouched and returns ``False``.  Sqlite's single-writer
+        lock makes this safe across processes sharing the file.
+        """
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+
+        def upsert() -> tuple[bool, bool]:
+            with self._lock, self._conn:
+                fault_point(SITE_STORE_WRITE)
+                now = time.time()
+                row = self._conn.execute(
+                    "SELECT replica_id, expires_at FROM leases"
+                    " WHERE namespace = ? AND request_hash = ?",
+                    (namespace, request_hash),
+                ).fetchone()
+                cursor = self._conn.execute(
+                    "INSERT INTO leases"
+                    " (namespace, request_hash, replica_id, expires_at, claimed_at)"
+                    " VALUES (?, ?, ?, ?, ?)"
+                    " ON CONFLICT(namespace, request_hash) DO UPDATE SET"
+                    "  replica_id = excluded.replica_id,"
+                    "  expires_at = excluded.expires_at,"
+                    "  claimed_at = excluded.claimed_at"
+                    "  WHERE leases.expires_at <= ?"
+                    "     OR leases.replica_id = excluded.replica_id",
+                    (namespace, request_hash, replica_id, now + ttl, now, now),
+                )
+                claimed = cursor.rowcount > 0
+                takeover = (
+                    claimed and row is not None and row[0] != replica_id
+                )
+                return claimed, takeover
+
+        claimed, takeover = self._write(upsert)
+        if claimed:
+            with self._lock:
+                self.lease_claims += 1
+                if takeover:
+                    self.lease_takeovers += 1
+            # The crash-after-claim seam: the lease row is durable, the
+            # work has not started.  A crash here is exactly the failure
+            # expiry-based takeover exists to recover.
+            fault_point(SITE_CLAIM_ACQUIRED)
+        return claimed
+
+    def renew(
+        self, namespace: str, request_hash: str, replica_id: str, ttl: float
+    ) -> bool:
+        """Extend a lease *replica_id* still holds; False when it was lost."""
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+
+        def extend() -> bool:
+            with self._lock, self._conn:
+                fault_point(SITE_STORE_WRITE)
+                now = time.time()
+                cursor = self._conn.execute(
+                    "UPDATE leases SET expires_at = ?"
+                    " WHERE namespace = ? AND request_hash = ?"
+                    "  AND replica_id = ? AND expires_at > ?",
+                    (now + ttl, namespace, request_hash, replica_id, now),
+                )
+                return cursor.rowcount > 0
+
+        renewed = self._write(extend)
+        if renewed:
+            with self._lock:
+                self.lease_renewals += 1
+        return renewed
+
+    def release(self, namespace: str, request_hash: str, replica_id: str) -> bool:
+        """Drop the lease iff *replica_id* holds it; True when a row was removed."""
+
+        def drop() -> bool:
+            with self._lock, self._conn:
+                fault_point(SITE_STORE_WRITE)
+                cursor = self._conn.execute(
+                    "DELETE FROM leases WHERE namespace = ? AND request_hash = ?"
+                    " AND replica_id = ?",
+                    (namespace, request_hash, replica_id),
+                )
+                return cursor.rowcount > 0
+
+        released = self._write(drop)
+        if released:
+            with self._lock:
+                self.lease_releases += 1
+        return released
+
+    def release_all(self, replica_id: str) -> int:
+        """Drop every lease held by *replica_id* (graceful-drain cleanup)."""
+
+        def drop() -> int:
+            with self._lock, self._conn:
+                cursor = self._conn.execute(
+                    "DELETE FROM leases WHERE replica_id = ?", (replica_id,)
+                )
+                return cursor.rowcount
+
+        released = self._write(drop)
+        with self._lock:
+            self.lease_releases += released
+        return released
+
+    def lease(self, namespace: str, request_hash: str) -> Optional[dict[str, Any]]:
+        """The **live** lease on the key, or ``None`` (expired rows don't count)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT replica_id, expires_at, claimed_at FROM leases"
+                " WHERE namespace = ? AND request_hash = ? AND expires_at > ?",
+                (namespace, request_hash, time.time()),
+            ).fetchone()
+        if row is None:
+            return None
+        return {"replica_id": row[0], "expires_at": row[1], "claimed_at": row[2]}
+
+    def leases_held(self, replica_id: str) -> list[str]:
+        """Request hashes whose live lease *replica_id* currently holds."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT request_hash FROM leases"
+                " WHERE replica_id = ? AND expires_at > ? ORDER BY claimed_at",
+                (replica_id, time.time()),
+            ).fetchall()
+        return [row[0] for row in rows]
+
+    def expire_leases(self) -> int:
+        """Delete expired lease rows (housekeeping; claims handle them in place)."""
+
+        def sweep() -> int:
+            with self._lock, self._conn:
+                cursor = self._conn.execute(
+                    "DELETE FROM leases WHERE expires_at <= ?", (time.time(),)
+                )
+                return cursor.rowcount
+
+        return self._write(sweep)
 
     # -- maintenance ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -237,24 +464,36 @@ class ResultStore:
 
         The disk analogue of the scheduler's terminal-ticket GC: a
         long-running server calls this periodically so the store stays
-        bounded while recent results remain servable.  Returns the number
-        of rows removed.
+        bounded while recent results remain servable.  Expired lease rows
+        ride along.  Returns the number of result rows removed.
         """
         if older_than < 0:
             raise ValueError(f"older_than must be >= 0, got {older_than}")
         cutoff = time.time() - older_than
-        with self._lock, self._conn:
-            cursor = self._conn.execute(
-                "DELETE FROM results WHERE created_at < ?", (cutoff,)
-            )
-            removed = cursor.rowcount
-            self.pruned += removed
-        return removed
+
+        def sweep() -> int:
+            with self._lock, self._conn:
+                cursor = self._conn.execute(
+                    "DELETE FROM results WHERE created_at < ?", (cutoff,)
+                )
+                removed = cursor.rowcount
+                self._conn.execute(
+                    "DELETE FROM leases WHERE expires_at <= ?", (time.time(),)
+                )
+                self.pruned += removed
+                return removed
+
+        return self._write(sweep)
 
     def clear(self) -> None:
-        """Drop every stored result (the schema version row stays)."""
-        with self._lock, self._conn:
-            self._conn.execute("DELETE FROM results")
+        """Drop every stored result and lease (the schema version row stays)."""
+
+        def wipe() -> None:
+            with self._lock, self._conn:
+                self._conn.execute("DELETE FROM results")
+                self._conn.execute("DELETE FROM leases")
+
+        self._write(wipe)
 
     def describe(self) -> dict[str, Any]:
         return {
@@ -265,7 +504,15 @@ class ResultStore:
             "misses": self.misses,
             "writes": self.writes,
             "pruned": self.pruned,
+            "write_retries": self.write_retries,
             "invalidated": self.invalidated,
+            "quarantined_path": self.quarantined_path,
+            "leases": {
+                "claims": self.lease_claims,
+                "takeovers": self.lease_takeovers,
+                "renewals": self.lease_renewals,
+                "releases": self.lease_releases,
+            },
         }
 
     def close(self) -> None:

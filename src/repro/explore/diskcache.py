@@ -32,6 +32,7 @@ recompute and not worth a durable row.
 from __future__ import annotations
 
 import hashlib
+import logging
 import pickle
 import sqlite3
 import struct
@@ -45,6 +46,13 @@ import numpy as np
 
 from repro.dataframe.column import Column
 from repro.dataframe.table import DataTable
+from repro.reliability import (
+    SITE_CACHE_PAYLOAD,
+    SITE_CACHE_WRITE,
+    fault_point,
+    open_sqlite_verified,
+    retry_sqlite,
+)
 
 from .cache import (
     DEFAULT_MAX_ENTRIES,
@@ -67,6 +75,8 @@ DISK_SCHEMA_VERSION = 2
 
 #: Default number of buffered inserts per write-behind flush.
 DEFAULT_WRITE_BATCH = 32
+
+logger = logging.getLogger(__name__)
 
 
 # -- canonical key encoding ---------------------------------------------------------------
@@ -186,44 +196,52 @@ class DiskCacheTier:
 
     def __init__(self, path: str | Path, timeout: float = 30.0):
         self.path = Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
-        self._conn = sqlite3.connect(
-            str(self.path), timeout=timeout, check_same_thread=False
-        )
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
         #: Lookups served from disk / fallen through / rows written.
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.flushes = 0
+        #: Transient ``database is locked`` failures absorbed by the shared
+        #: backoff helper (telemetry for multi-replica write contention).
+        self.write_retries = 0
         #: True when a version mismatch dropped a pre-existing store.
         self.invalidated = False
-        self._ensure_schema()
+        # A corrupt/truncated cache file is quarantine-renamed and the tier
+        # rebuilds fresh, mirroring the wholesale schema-version drop —
+        # cache corruption must never fail engine construction.
+        self._conn, quarantined = open_sqlite_verified(
+            self.path, timeout, initialize=self._initialize
+        )
+        #: Where a corrupt pre-existing file was renamed on open, if any.
+        self.quarantined_path: Optional[str] = (
+            str(quarantined) if quarantined is not None else None
+        )
 
     # -- schema -------------------------------------------------------------------
-    def _ensure_schema(self) -> None:
-        with self._lock, self._conn:
-            self._conn.execute(
+    def _initialize(self, conn: sqlite3.Connection) -> None:
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        with conn:
+            conn.execute(
                 "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
             )
-            row = self._conn.execute(
+            row = conn.execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'"
             ).fetchone()
             if row is not None and row[0] != str(DISK_SCHEMA_VERSION):
                 # A stale digest/payload format: drop everything, never
                 # attempt to reinterpret old rows.
-                self._conn.execute("DROP TABLE IF EXISTS entries")
+                conn.execute("DROP TABLE IF EXISTS entries")
                 self.invalidated = True
-            self._conn.execute(
+            conn.execute(
                 "CREATE TABLE IF NOT EXISTS entries ("
                 " key BLOB PRIMARY KEY,"
                 " payload BLOB NOT NULL,"
                 " rows INTEGER NOT NULL,"
                 " created_at REAL NOT NULL)"
             )
-            self._conn.execute(
+            conn.execute(
                 "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
                 (str(DISK_SCHEMA_VERSION),),
             )
@@ -253,22 +271,42 @@ class DiskCacheTier:
         return table
 
     def put_many(self, items: Iterable[tuple[CacheKey, DataTable]]) -> int:
-        """Insert (or replace) a batch of results in one transaction."""
+        """Insert (or replace) a batch of results in one transaction.
+
+        Transient lock contention from sibling replicas retries with
+        backoff (``write_retries`` counts the absorbed failures); the
+        :data:`~repro.reliability.SITE_CACHE_PAYLOAD` seam lets the fault
+        harness tear a payload mid-write, which :meth:`get` must then
+        repair as a miss.
+        """
         now = time.time()
-        rows = [
-            (encode_key(key), serialize_table(table), len(table), now)
-            for key, table in items
-        ]
+        rows = []
+        for key, table in items:
+            payload = serialize_table(table)
+            spec = fault_point(SITE_CACHE_PAYLOAD)
+            if spec is not None:
+                # A torn write: persist only the first half of the payload,
+                # exactly what a crash mid-write leaves behind.
+                payload = payload[: max(1, len(payload) // 2)]
+            rows.append((encode_key(key), payload, len(table), now))
         if not rows:
             return 0
-        with self._lock, self._conn:
-            self._conn.executemany(
-                "INSERT OR REPLACE INTO entries (key, payload, rows, created_at)"
-                " VALUES (?, ?, ?, ?)",
-                rows,
-            )
-            self.writes += len(rows)
-            self.flushes += 1
+
+        def count_retry(attempt: int, exc: BaseException, delay: float) -> None:
+            self.write_retries += 1
+
+        def insert() -> None:
+            with self._lock, self._conn:
+                fault_point(SITE_CACHE_WRITE)
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO entries (key, payload, rows, created_at)"
+                    " VALUES (?, ?, ?, ?)",
+                    rows,
+                )
+                self.writes += len(rows)
+                self.flushes += 1
+
+        retry_sqlite(insert, on_retry=count_retry)
         return len(rows)
 
     def put(self, key: CacheKey, table: DataTable) -> None:
@@ -304,7 +342,9 @@ class DiskCacheTier:
             "misses": self.misses,
             "writes": self.writes,
             "flushes": self.flushes,
+            "write_retries": self.write_retries,
             "invalidated": self.invalidated,
+            "quarantined_path": self.quarantined_path,
         }
 
     def close(self) -> None:
@@ -354,6 +394,9 @@ class TieredExecutionCache(ExecutionCache):
         self.disk = disk if isinstance(disk, DiskCacheTier) else DiskCacheTier(disk)
         self.write_batch_size = write_batch_size
         self._pending: "OrderedDict[CacheKey, DataTable]" = OrderedDict()
+        #: Flushes abandoned because the disk tier stayed locked through
+        #: every retry: the cache degrades to memory-only for that batch.
+        self.write_failures = 0
 
     # -- tiered lookups -------------------------------------------------------------
     def _fetch(self, key: CacheKey) -> Optional[DataTable]:
@@ -391,10 +434,28 @@ class TieredExecutionCache(ExecutionCache):
         return len(self._pending)
 
     def flush(self) -> int:
-        """Persist the write-behind buffer in one transaction; returns rows written."""
+        """Persist the write-behind buffer in one transaction; returns rows written.
+
+        A disk tier that stays locked through every backoff retry must not
+        fail the request that triggered the flush: the batch is dropped
+        (its entries remain servable from the memory LRU), the degradation
+        is logged, and subsequent flushes try again with fresh batches —
+        a graceful memory-only fallback rather than a hard failure.
+        """
         if not self._pending:
             return 0
-        written = self.disk.put_many(self._pending.items())
+        try:
+            written = self.disk.put_many(self._pending.items())
+        except sqlite3.OperationalError as exc:
+            self.write_failures += 1
+            logger.warning(
+                "disk cache flush of %d entries failed (%s); "
+                "degrading to memory-only for this batch",
+                len(self._pending),
+                exc,
+            )
+            self._pending.clear()
+            return 0
         self._pending.clear()
         return written
 
@@ -423,6 +484,7 @@ class TieredExecutionCache(ExecutionCache):
         summary = super().describe()
         summary["tiers"] = "memory+disk"
         summary["pending_writes"] = len(self._pending)
+        summary["write_failures"] = self.write_failures
         summary["disk_hits"] = self.disk.hits
         summary["disk_misses"] = self.disk.misses
         summary["disk_writes"] = self.disk.writes

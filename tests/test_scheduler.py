@@ -547,3 +547,44 @@ class TestTerminalRetention:
                 assert generator.calls == 2
         finally:
             store.close()
+
+
+class TestDrain:
+    def test_drain_rejects_new_work_but_finishes_running(self):
+        from repro.engine import SchedulerDrainingError
+
+        release = threading.Event()
+        try:
+            with _scheduler(TickingGenerator(release=release), max_workers=1) as scheduler:
+                running = scheduler.submit(_request(seed=1))
+                scheduler.drain()
+                assert scheduler.health()["status"] == "draining"
+                with pytest.raises(SchedulerDrainingError) as excinfo:
+                    scheduler.submit(_request(seed=2))
+                assert scheduler.replica_id in str(excinfo.value)
+                release.set()
+                # In-flight work still completes normally under drain.
+                assert scheduler.wait(running.ticket_id, timeout=60)["state"] == TICKET_DONE
+        finally:
+            release.set()
+
+    def test_health_reports_readiness_signals(self):
+        with _scheduler(max_workers=1) as scheduler:
+            health = scheduler.health()
+            assert health["status"] == "ok"
+            assert health["leases_held"] == 0
+            assert health["queue_depth"] == 0
+            assert health["replica_id"] == scheduler.replica_id
+
+    def test_shutdown_releases_held_leases(self, tmp_path):
+        store = ResultStore(tmp_path / "results.sqlite")
+        try:
+            scheduler = _scheduler(TickingGenerator(), max_workers=1, store=store)
+            namespace = scheduler._store_namespace
+            # A lease the worker never released (e.g. it died hard).
+            store.claim(namespace, "orphan-hash", scheduler.replica_id, 300.0)
+            scheduler._held_leases.add("orphan-hash")
+            scheduler.shutdown()
+            assert store.lease(namespace, "orphan-hash") is None
+        finally:
+            store.close()

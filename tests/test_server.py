@@ -70,7 +70,12 @@ class TestRoutes:
     def test_healthz(self, served):
         port, _ = served
         status, body = _call(port, "GET", "/healthz")
-        assert (status, body) == (200, {"status": "ok"})
+        assert status == 200
+        # Liveness + readiness: status plus the load-balancer signals.
+        assert body["status"] == "ok"
+        assert body["leases_held"] == 0
+        assert body["queue_depth"] == 0
+        assert body["replica_id"]
 
     def test_stages_lists_registry(self, served):
         port, _ = served
@@ -280,3 +285,23 @@ class TestSSEFraming:
         ]
         assert all(set(event) == {"request_id", "kind", "stage", "payload"}
                    for event in replayed)
+
+
+class TestDrainOverHttp:
+    def test_drain_then_submit_is_503_and_healthz_reports_draining(self, tmp_path):
+        scheduler = RequestScheduler(
+            LinxEngine(session_generator=StubGenerator()), max_workers=1
+        )
+        try:
+            with ServerThread(scheduler) as hosted:
+                status, _ = _call(hosted.port, "POST", "/requests", _payload(seed=1))
+                assert status == 202
+                scheduler.drain()
+                status, health = _call(hosted.port, "GET", "/healthz")
+                assert status == 200
+                assert health["status"] == "draining"
+                status, body = _call(hosted.port, "POST", "/requests", _payload(seed=2))
+                assert status == 503
+                assert "draining" in body["error"]
+        finally:
+            scheduler.shutdown()

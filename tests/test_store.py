@@ -291,3 +291,70 @@ class TestSchemaVersioning:
         assert summary["misses"] == 1
         assert summary["schema_version"] == STORE_SCHEMA_VERSION
         assert summary["invalidated"] is False
+
+
+class TestLeases:
+    """The compare-and-claim lease table behind exactly-once execution."""
+
+    def test_claim_is_exclusive_until_released(self, store_path):
+        with ResultStore(store_path) as store:
+            assert store.claim(NS, "h1", "replica-a", 30.0)
+            assert not store.claim(NS, "h1", "replica-b", 30.0)
+            lease = store.lease(NS, "h1")
+            assert lease["replica_id"] == "replica-a"
+            assert lease["expires_at"] > lease["claimed_at"]
+            # Only the holder can renew or release.
+            assert not store.renew(NS, "h1", "replica-b", 30.0)
+            assert store.renew(NS, "h1", "replica-a", 30.0)
+            assert not store.release(NS, "h1", "replica-b")
+            assert store.release(NS, "h1", "replica-a")
+            assert store.lease(NS, "h1") is None
+            assert store.claim(NS, "h1", "replica-b", 30.0)
+
+    def test_reclaim_by_holder_is_idempotent(self, store_path):
+        with ResultStore(store_path) as store:
+            assert store.claim(NS, "h1", "replica-a", 30.0)
+            # The holder re-claiming its own live lease succeeds (crash-restart
+            # of the same replica must not deadlock on itself).
+            assert store.claim(NS, "h1", "replica-a", 30.0)
+
+    def test_expired_lease_is_taken_over(self, store_path):
+        import time as _time
+
+        with ResultStore(store_path) as store:
+            assert store.claim(NS, "h1", "replica-a", 0.1)
+            _time.sleep(0.15)
+            assert store.claim(NS, "h1", "replica-b", 30.0)
+            assert store.lease(NS, "h1")["replica_id"] == "replica-b"
+            assert store.describe()["leases"]["takeovers"] == 1
+            # An expired lease cannot be renewed back by the old holder.
+            assert not store.renew(NS, "h1", "replica-a", 30.0)
+
+    def test_release_all_drops_only_that_replica(self, store_path):
+        with ResultStore(store_path) as store:
+            store.claim(NS, "h1", "replica-a", 30.0)
+            store.claim(NS, "h2", "replica-a", 30.0)
+            store.claim(NS, "h3", "replica-b", 30.0)
+            assert sorted(store.leases_held("replica-a")) == ["h1", "h2"]
+            assert store.release_all("replica-a") == 2
+            assert store.leases_held("replica-a") == []
+            assert store.leases_held("replica-b") == ["h3"]
+
+    def test_expire_leases_sweeps_only_stale_rows(self, store_path):
+        import time as _time
+
+        with ResultStore(store_path) as store:
+            store.claim(NS, "stale", "replica-a", 0.05)
+            store.claim(NS, "live", "replica-b", 30.0)
+            _time.sleep(0.1)
+            assert store.expire_leases() == 1
+            assert store.lease(NS, "stale") is None
+            assert store.lease(NS, "live") is not None
+
+    def test_leases_survive_reopen_but_not_schema_bump(self, store_path):
+        store = ResultStore(store_path)
+        store.claim(NS, "h1", "replica-a", 30.0)
+        store.close()
+        reopened = ResultStore(store_path)
+        assert reopened.lease(NS, "h1")["replica_id"] == "replica-a"
+        reopened.close()
