@@ -118,6 +118,12 @@ class Ticket:
     error_kind: str = ""
     events: list[ProgressEvent] = field(default_factory=list)
     result_payload: Optional[dict[str, Any]] = None
+    #: The serialized wire-format result, when it exists in that form —
+    #: stored results (read raw off disk) and freshly committed ones (the
+    #: text that was just written).  Serving splices this into responses
+    #: without a parse/re-dump round-trip; ``result_payload`` is parsed
+    #: from it lazily on first dict access.
+    result_text: Optional[str] = None
     cancel_event: threading.Event = field(default_factory=threading.Event)
     #: Point-in-time :meth:`snapshot` taken under the scheduler lock when the
     #: submission was accepted.  The server's POST response uses this instead
@@ -354,15 +360,16 @@ class RequestScheduler:
                 ticket.deduplicated = True
                 ticket.submit_snapshot = ticket.snapshot()
                 return ticket
-        # The store lookup (a sqlite read + JSON parse of a full result)
-        # happens *outside* the scheduler lock so a burst of submits never
-        # stalls running requests' event recording.  The races this opens —
+        # The store lookup (a pooled sqlite read of the raw result text —
+        # never parsed on this path) happens *outside* the scheduler lock
+        # so a burst of submits never stalls running requests' event
+        # recording.  The races this opens —
         # an identical request enqueued, or completing and writing the
         # store, between these two critical sections — are benign: the
         # dedup re-check below catches the former, and _execute's own
         # store re-check catches the latter.
         stored = (
-            self.store.get_payload(self._store_namespace, request_hash)
+            self.store.get_payload_text(self._store_namespace, request_hash)
             if self.store is not None
             else None
         )
@@ -423,14 +430,19 @@ class RequestScheduler:
             timeout=timeout if timeout is not None else self.default_timeout,
         )
 
-    def _finish_from_store(self, ticket: Ticket, payload: dict[str, Any]) -> None:
-        """Complete *ticket* directly from a stored payload (no execution)."""
+    def _finish_from_store(self, ticket: Ticket, payload_text: str) -> None:
+        """Complete *ticket* directly from stored payload text (no execution).
+
+        The raw JSON text is kept as-is: the serving layer splices it into
+        responses untouched, and the dict form is only materialised if a
+        caller actually asks for :meth:`result_payload`.
+        """
         now = time.time()
         ticket.state = TICKET_DONE
         ticket.served_from_store = True
         ticket.started_at = now
         ticket.finished_at = now
-        ticket.result_payload = payload
+        ticket.result_text = payload_text
         label = ticket.request.request_id or ticket.ticket_id
         ticket.events.append(
             ProgressEvent(label, EVENT_REQUEST_STARTED, "", {"served_from_store": True})
@@ -453,9 +465,32 @@ class RequestScheduler:
             return self._tickets[ticket_id].snapshot()
 
     def result_payload(self, ticket_id: str) -> Optional[dict[str, Any]]:
-        """The serialized result of a ``done`` ticket, else ``None``."""
+        """The serialized result of a ``done`` ticket, else ``None``.
+
+        Store-served tickets carry only the raw JSON text; the dict form
+        is parsed (and cached on the ticket) on first access here, so
+        callers that never need it — the raw-splicing result endpoint —
+        never pay for the parse.
+        """
         with self._lock:
-            return self._tickets[ticket_id].result_payload
+            ticket = self._tickets[ticket_id]
+            if ticket.result_payload is None and ticket.result_text is not None:
+                ticket.result_payload = json.loads(ticket.result_text)
+            return ticket.result_payload
+
+    def result_text(self, ticket_id: str) -> Optional[str]:
+        """The result of a ``done`` ticket as wire-format JSON text, else ``None``.
+
+        The zero-parse serving path: stored and freshly committed results
+        already exist in this form and are returned as-is; a result that
+        only exists as a dict (no store configured) is serialized once and
+        cached on the ticket.
+        """
+        with self._lock:
+            ticket = self._tickets[ticket_id]
+            if ticket.result_text is None and ticket.result_payload is not None:
+                ticket.result_text = json.dumps(ticket.result_payload)
+            return ticket.result_text
 
     def wait(self, ticket_id: str, timeout: float | None = None) -> dict[str, Any]:
         """Block until *ticket_id* reaches a terminal state; returns its snapshot.
@@ -629,7 +664,10 @@ class RequestScheduler:
             except Exception as exc:  # noqa: BLE001 — every failure becomes state
                 # _execute handles expected failures itself; anything that
                 # still escapes (a store driver bug, an injected crash)
-                # must neither kill this worker nor wedge the ticket.
+                # must neither kill this worker nor wedge the ticket.  The
+                # lease goes first: a waiter that observes the terminal
+                # state must find the hash reclaimable immediately.
+                self._release_lease(ticket)
                 self._finalise(
                     ticket,
                     TICKET_FAILED,
@@ -655,7 +693,9 @@ class RequestScheduler:
         while True:
             # A sibling replica (or a previous run) may have stored this
             # hash already: serve idempotently, never re-execute.
-            payload = self.store.get_payload(self._store_namespace, ticket.request_hash)
+            payload = self.store.get_payload_text(
+                self._store_namespace, ticket.request_hash
+            )
             if payload is not None:
                 with self._condition:
                     # Drop the live mapping *before* finishing: finishing
@@ -792,25 +832,48 @@ class RequestScheduler:
                 # stream never closes with the event tail undelivered.
                 self._await_terminal_event(ticket)
         except RequestCancelledError as exc:
+            self._release_lease(ticket)
             self._finalise(ticket, TICKET_CANCELLED, str(exc), type(exc).__name__)
             return
         except Exception as exc:  # noqa: BLE001 — every failure becomes a ticket state
+            # Release before the terminal snapshot becomes visible: a
+            # caller that observes "failed" must be able to resubmit and
+            # reclaim the hash without waiting out the lease TTL.
+            self._release_lease(ticket)
             self._finalise(ticket, TICKET_FAILED, str(exc), type(exc).__name__)
             return
+        payload_text: Optional[str] = None
         if self.store is not None:
+            # Serialize once: this text is the store row, the ticket's
+            # servable result AND the lease release, in one transaction.
+            payload_text = json.dumps(payload)
             try:
-                self.store.put(self._store_namespace, ticket.request_hash, result)
+                released = self.store.commit_result(
+                    self._store_namespace,
+                    ticket.request_hash,
+                    payload_text,
+                    request_id=str(result.request.get("request_id", "")),
+                    dataset=result.dataset_name,
+                    replica_id=self.replica_id,
+                )
             except Exception as exc:  # noqa: BLE001
+                self._release_lease(ticket)
                 self._finalise(
                     ticket, TICKET_FAILED, f"result store write failed: {exc}",
                     type(exc).__name__,
                 )
                 return
+            if released:
+                # The commit transaction already dropped the lease row;
+                # deregister so the worker loop's release is a no-op.
+                with self._lock:
+                    self._held_leases.discard(ticket.request_hash)
             self._journal("commit", ticket)
         with self._condition:
             ticket.state = TICKET_DONE
             ticket.finished_at = time.time()
             ticket.result_payload = payload
+            ticket.result_text = payload_text
             self._drop_live(ticket)
             self._gc_terminal()
             self._condition.notify_all()
@@ -928,13 +991,17 @@ class RequestScheduler:
                 fault_point(SITE_HEARTBEAT)
                 with self._lock:
                     held = list(self._held_leases)
-                for request_hash in held:
-                    if self.store.renew(
-                        self._store_namespace, request_hash, self.replica_id,
-                        self.lease_ttl,
-                    ):
-                        with self._lock:
-                            self.lease_renewals += 1
+                if not held:
+                    continue
+                # One batched UPDATE per store shard instead of a write
+                # transaction per lease: a replica holding many leases
+                # renews them all in at most num_shards statements.
+                renewed = self.store.renew_many(
+                    self._store_namespace, held, self.replica_id, self.lease_ttl
+                )
+                if renewed:
+                    with self._lock:
+                        self.lease_renewals += renewed
             except Exception:  # noqa: BLE001 — a failed beat must not kill the thread
                 continue
 
@@ -954,14 +1021,22 @@ class RequestScheduler:
             self._condition.notify_all()
 
     def health(self) -> dict[str, Any]:
-        """The liveness + readiness payload behind the server's ``/healthz``."""
+        """The liveness + readiness payload behind the server's ``/healthz``.
+
+        With a store, includes one row per store shard (entries, live
+        leases, write retries) so per-file contention is visible from the
+        health probe, not just from ``/stats``.
+        """
         with self._lock:
-            return {
+            payload = {
                 "status": "draining" if (self._draining or self._shutdown) else "ok",
                 "replica_id": self.replica_id,
                 "leases_held": len(self._held_leases),
                 "queue_depth": len(self._queue),
             }
+        if self.store is not None:
+            payload["store_shards"] = self.store.shard_stats()
+        return payload
 
     # -- lifecycle ---------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:

@@ -24,10 +24,16 @@ tier end to end:
 Run exactly as CI does::
 
     PYTHONPATH=src python -m repro.engine.serve_cluster
+    PYTHONPATH=src python -m repro.engine.serve_cluster --num-shards 4
+
+``--num-shards`` runs the whole cluster (store and disk cache) over the
+sharded persistence layout: the same exactly-once and bit-identity
+contract must hold when keys stripe over several WAL files.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import multiprocessing
 import tempfile
@@ -84,6 +90,7 @@ def _replica_main(
     root: str,
     port_queue: "multiprocessing.Queue",
     fault_json: Optional[str],
+    num_shards: int = 1,
 ) -> None:
     """One server replica over the shared store/cache directory."""
     if fault_json:
@@ -92,8 +99,9 @@ def _replica_main(
     engine = LinxEngine(
         cdrl_config=CdrlConfig(episodes=EPISODES),
         disk_cache_path=base / "cache.sqlite",
+        disk_cache_shards=num_shards,
     )
-    store = ResultStore(base / "results.sqlite")
+    store = ResultStore(base / "results.sqlite", num_shards=num_shards)
     scheduler = RequestScheduler(
         engine,
         store=store,
@@ -153,7 +161,21 @@ def _normalise(payload: dict[str, Any]) -> dict[str, Any]:
     return clean
 
 
-def main() -> int:
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.serve_cluster",
+        description="Multi-replica exactly-once/crash-takeover smoke check.",
+    )
+    parser.add_argument(
+        "--num-shards",
+        type=int,
+        default=1,
+        help="sqlite shard count for the shared store and disk cache "
+             "(the fault-tolerance contract must hold at any count)",
+    )
+    args = parser.parse_args(argv)
+    num_shards = args.num_shards
+
     started = time.time()
     context = multiprocessing.get_context("spawn")
     crash_plan = FaultPlan.crash_after_claim(exit_code=CRASH_EXIT_CODE).to_json()
@@ -163,7 +185,13 @@ def main() -> int:
         procs = [
             context.Process(
                 target=_replica_main,
-                args=(index, root, port_queue, crash_plan if index == 0 else None),
+                args=(
+                    index,
+                    root,
+                    port_queue,
+                    crash_plan if index == 0 else None,
+                    num_shards,
+                ),
                 daemon=True,
             )
             for index in range(REPLICAS)
@@ -172,7 +200,8 @@ def main() -> int:
             proc.start()
         ports_by_index = dict(port_queue.get(timeout=300) for _ in range(REPLICAS))
         ports = [ports_by_index[index] for index in range(REPLICAS)]
-        print(f"[cluster] {REPLICAS} replicas up on ports {ports} "
+        print(f"[cluster] {REPLICAS} replicas up on ports {ports}, "
+              f"store/cache shards={num_shards} "
               f"(replica 0 scripted to crash on its first lease claim)")
 
         try:
@@ -219,12 +248,21 @@ def main() -> int:
             assert not duplicated, f"duplicate executions: {duplicated}"
             duplicated = {h: n for h, n in commits.items() if n != 1}
             assert not duplicated, f"duplicate commits: {duplicated}"
-            with ResultStore(Path(root) / "results.sqlite") as audit:
+            # The audit open MUST use the replicas' shard count: a
+            # mismatching count is (by design) a wholesale drop.
+            with ResultStore(
+                Path(root) / "results.sqlite", num_shards=num_shards
+            ) as audit:
                 assert len(audit) == UNIQUE_REQUESTS, (
                     f"store holds {len(audit)} rows, expected {UNIQUE_REQUESTS}"
                 )
+                occupancy = {
+                    shard["shard"]: shard["entries"]
+                    for shard in audit.shard_stats()
+                }
             print(f"[cluster] exactly-once verified: {len(commits)} hashes, "
-                  f"one execute + one commit each; store rows = {UNIQUE_REQUESTS}")
+                  f"one execute + one commit each; store rows = {UNIQUE_REQUESTS} "
+                  f"(per-shard occupancy {occupancy})")
 
             # ---- lease takeover of the corpse's claim --------------------------
             takeovers = 0

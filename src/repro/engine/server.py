@@ -286,15 +286,18 @@ class LinxHttpServer:
     async def _result(self, ticket_id: str, writer: asyncio.StreamWriter) -> None:
         snapshot = self.scheduler.status(ticket_id)
         if snapshot["state"] == TICKET_DONE:
-            await self._respond(
-                writer,
-                200,
+            # Splice the stored wire-format text straight into the response
+            # envelope: a result served from the store (or just committed)
+            # is never parsed and re-dumped on its way out.
+            result_text = self.scheduler.result_text(ticket_id) or "null"
+            head = json.dumps(
                 {
                     "ticket": ticket_id,
                     "served_from_store": snapshot["served_from_store"],
-                    "result": self.scheduler.result_payload(ticket_id),
-                },
+                }
             )
+            envelope = f'{head[:-1]}, "result": {result_text}}}'
+            await self._respond_raw(writer, 200, envelope.encode("utf-8"))
         elif snapshot["state"] in (TICKET_FAILED, TICKET_CANCELLED):
             await self._respond(writer, 409, snapshot)
         else:
@@ -346,7 +349,18 @@ class LinxHttpServer:
         payload: dict[str, Any],
         extra_headers: dict[str, str] | None = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        await self._respond_raw(
+            writer, status, json.dumps(payload).encode("utf-8"), extra_headers
+        )
+
+    async def _respond_raw(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        """Send pre-serialized JSON *body* (the zero-parse result path)."""
         headers = dict(_JSON)
         if extra_headers:
             headers.update(extra_headers)
@@ -444,6 +458,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--disk-cache", default=None, help="sqlite execution-cache tier path"
     )
     parser.add_argument(
+        "--num-shards",
+        type=int,
+        default=1,
+        help="sqlite shard count for the result store and disk cache "
+             "(keys stripe over this many WAL files; 1 = legacy single file)",
+    )
+    parser.add_argument(
         "--policy-registry",
         default=None,
         help="sqlite policy registry path; serves its policies as "
@@ -499,12 +520,15 @@ def main(argv: Optional[list[str]] = None) -> int:
     engine = LinxEngine(
         cdrl_config=CdrlConfig(episodes=args.episodes),
         disk_cache_path=args.disk_cache,
+        disk_cache_shards=args.num_shards,
         policy_registry_path=args.policy_registry,
         inference_batching=args.batching,
         batch_linger_ms=args.batch_linger_ms,
         max_batch_size=args.max_batch_size,
     )
-    store = ResultStore(args.store) if args.store else None
+    store = (
+        ResultStore(args.store, num_shards=args.num_shards) if args.store else None
+    )
     scheduler = RequestScheduler(
         engine,
         store=store,
@@ -538,7 +562,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"  workers={args.workers} x{args.max_workers}, queue={args.queue_size}")
         print(f"  replica: {scheduler.replica_id} (lease ttl {args.lease_ttl:g}s)")
         if store is not None:
-            print(f"  result store: {store.path}")
+            print(f"  result store: {store.path} ({store.num_shards} shard(s))")
         if engine.policy_registry is not None:
             print(f"  policy registry: {args.policy_registry} "
                   f"({len(engine.policy_registry)} artifacts)")

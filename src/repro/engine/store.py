@@ -1,4 +1,4 @@
-"""A persistent, sqlite-backed store of explore results keyed by request hash.
+"""A persistent, sharded sqlite store of explore results keyed by request hash.
 
 The scheduler executes a request at most once: results land here under
 ``(namespace, canonical_hash)``, so an identical resubmission — same goal,
@@ -7,49 +7,61 @@ byte-for-byte instead of re-training, and
 :meth:`ExploreResult.rebuild_session` turns the stored operation trace back
 into a live session for warm replay.  The *namespace* is the submitting
 engine's :meth:`~repro.engine.core.LinxEngine.config_fingerprint`, so one
-store file shared across servers with different configurations never serves
+store shared across servers with different configurations never serves
 one configuration's results for another's requests; the composite primary
 key doubles as the covering index for the hot lookup path.
 
 Beyond results, the store is the cluster's **coordination point**: the
 ``leases`` table implements single-transaction compare-and-claim
 (:meth:`claim` / :meth:`renew` / :meth:`release`), so N server replicas
-sharing one store file never execute the same canonical hash concurrently
-— and a lease whose holder stops renewing (a crashed replica) expires and
-is *taken over* by the next replica to ask.
+sharing one store never execute the same canonical hash concurrently — and
+a lease whose holder stops renewing (a crashed replica) expires and is
+*taken over* by the next replica to ask.
 
-Durability follows :class:`~repro.explore.diskcache.DiskCacheTier` exactly:
-WAL journaling for concurrent readers beside a writer, one transaction per
-insert (a cancelled or crashed request can never leave a half-written row),
-and a schema-version row that drops the store *wholesale* on mismatch —
-stale formats are discarded, never misread.  A corrupt/truncated database
-file is quarantine-renamed and rebuilt on open instead of failing engine
-construction, and every write rides the shared
-:func:`~repro.reliability.retry_sqlite` backoff helper so transient
-``database is locked`` contention between replicas degrades to a retry.
-Payloads are the canonical JSON wire format (:meth:`ExploreResult.to_dict`),
-so the store doubles as a replay log that any JSON consumer can read.
-Long-running servers bound disk growth with :meth:`prune`, the disk
-analogue of the scheduler's terminal-ticket GC.
+**Sharding and pooling** (see :mod:`repro.shards`): every
+``(namespace, request_hash)`` routes to one of ``num_shards`` sqlite files
+by a stable prefix of the request hash, so each shard has its own WAL
+file and its own write lock — writers to different shards never collide —
+and every reader thread gets its own pooled connection, so concurrent
+lookups run beside each other and beside writers instead of queueing on a
+global lock.  Results and leases shard *together* (same routing function),
+so claim/renew/release and the exactly-once guarantee are per-key
+unchanged.  Shard 0 lives at the original path; a ``num_shards=1`` store
+is file-layout-compatible with the legacy single file.
+
+Durability follows :class:`~repro.explore.diskcache.DiskCacheTier`: WAL
+journaling per shard, one transaction per commit (a crashed request never
+leaves a half-written row), and per-shard schema/shard-count metadata that
+drops a stale shard *wholesale* on mismatch — old formats (and old
+key→shard routings) are discarded, never misread.  A corrupt/truncated
+shard file is quarantine-renamed and rebuilt on open, and every write
+rides :func:`~repro.reliability.retry_sqlite` so transient ``database is
+locked`` contention between replicas degrades to a retry.  Payloads are
+the canonical JSON wire format (:meth:`ExploreResult.to_dict`) stored as
+UTF-8 blobs; :meth:`get_payload_text` hands the serving tier the raw JSON
+text so the hot dedup path never re-parses a stored result.  Long-running
+servers bound disk growth with :meth:`prune`, the disk analogue of the
+scheduler's terminal-ticket GC.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
-import threading
 import time
 from pathlib import Path
-from typing import Any, Callable, Optional, TypeVar
+from typing import Any, Callable, Iterable, Optional, TypeVar
+
+import threading
 
 from repro.reliability import (
     SITE_CLAIM_ACQUIRED,
     SITE_STORE_COMMIT,
     SITE_STORE_WRITE,
     fault_point,
-    open_sqlite_verified,
     retry_sqlite,
 )
+from repro.shards import ShardedSqlite, SqliteShard, prepare_shard_meta
 
 from .result import ExploreResult
 
@@ -58,37 +70,50 @@ T = TypeVar("T")
 #: Version of the on-disk layout (sqlite schema + result payload format).
 #: Bump on any incompatible change: a mismatching store is dropped and
 #: recreated on open, mirroring ``DiskCacheTier`` semantics.
-#: v2: namespace split into its own column — composite primary key
-#: ``(namespace, request_hash)`` covers the lookup path, and a
-#: ``created_at`` index makes :meth:`prune` a range scan.  The ``leases``
-#: coordination table is additive (``CREATE TABLE IF NOT EXISTS``), so it
-#: does not bump the version: v2 files gain it in place, and older readers
-#: simply ignore it.
-STORE_SCHEMA_VERSION = 2
+#: v2: namespace split into its own column; composite primary key
+#: ``(namespace, request_hash)``; ``created_at`` index for :meth:`prune`.
+#: v3: sharded layout — payloads stored as UTF-8 BLOBs (the raw-text read
+#: path never re-encodes), and per-shard ``num_shards`` / ``shard_index``
+#: meta rows guard the key→shard routing: a legacy single-file store (or
+#: a store written at a different shard count) is version-dropped
+#: wholesale, never migrated row-by-row into the wrong shard.
+STORE_SCHEMA_VERSION = 3
+
+#: Per-shard counter names surfaced in :meth:`ResultStore.describe`.
+_SHARD_COUNTERS = ("hits", "misses", "writes", "write_retries")
 
 
 class ResultStore:
     """Persistent mapping of ``(namespace, request hash)`` → serialized result.
 
-    All operations are guarded by an in-process lock so one store instance
-    can be shared across the scheduler's worker threads; WAL journaling
-    handles concurrent *processes* on the same file, and sqlite's write
-    lock makes :meth:`claim` a genuine cross-process compare-and-claim.
+    Lookups run on per-thread pooled read connections (no lock at all);
+    writes serialize per *shard* on that shard's write lock, so one store
+    instance is shared across the scheduler's worker threads while WAL
+    journaling handles concurrent *processes* on the same files — sqlite's
+    per-file write lock makes :meth:`claim` a genuine cross-process
+    compare-and-claim.
 
     Parameters
     ----------
     path:
-        The sqlite file (parent directories are created).  Conventionally
-        ``<dir>/results.sqlite``.  A corrupt file found here is renamed to
-        ``<name>.corrupt-<stamp>`` and a fresh store is built in its place
-        (``quarantined_path`` records the rename).
+        The sqlite file of shard 0 (parent directories are created).
+        Conventionally ``<dir>/results.sqlite``; shards 1..N-1 live at
+        ``results.sqlite.shard<k>`` alongside it.  A corrupt shard file is
+        renamed to ``<name>.corrupt-<stamp>`` and rebuilt in place
+        (``quarantined_path`` records the first rename).
     timeout:
         Seconds a writer waits on a locked database before giving up.
+    num_shards:
+        How many sqlite files the key space is striped over.  ``1``
+        (default) keeps the legacy single-file layout; a store opened at a
+        different count than it was written with is dropped wholesale
+        (per-shard meta guards the routing).
     """
 
-    def __init__(self, path: str | Path, timeout: float = 30.0):
+    def __init__(self, path: str | Path, timeout: float = 30.0, num_shards: int = 1):
         self.path = Path(path)
-        self._lock = threading.Lock()
+        self.num_shards = num_shards
+        self._lock = threading.Lock()  # guards counters only, never I/O
         #: Lookups served / fallen through / results written / rows pruned.
         self.hits = 0
         self.misses = 0
@@ -103,32 +128,37 @@ class ResultStore:
         self.lease_takeovers = 0
         self.lease_renewals = 0
         self.lease_releases = 0
-        #: True when a version mismatch dropped a pre-existing store.
+        #: True when a version/shard-count mismatch dropped existing rows.
         self.invalidated = False
-        self._conn, quarantined = open_sqlite_verified(
-            self.path, timeout, initialize=self._initialize
-        )
-        #: Where a corrupt pre-existing file was renamed on open, if any.
-        self.quarantined_path: Optional[str] = (
-            str(quarantined) if quarantined is not None else None
-        )
+        self._shard_counters = [
+            {name: 0 for name in _SHARD_COUNTERS} for _ in range(num_shards)
+        ]
+        self._pool = ShardedSqlite(self.path, num_shards, timeout, self._initialize)
+        #: Where a corrupt pre-existing shard file was renamed on open, if
+        #: any (the first one; ``describe()`` lists all of them).
+        quarantined = self._pool.quarantined_paths()
+        self.quarantined_path: Optional[str] = quarantined[0] if quarantined else None
 
     # -- schema -----------------------------------------------------------------------
-    def _initialize(self, conn: sqlite3.Connection) -> None:
-        """Pragmas + schema on a fresh connection (quarantine-retried by open)."""
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        """Shard 0's write connection (compatibility handle for tests/tools)."""
+        return self._pool.shards[0].conn
+
+    def _initialize(self, conn: sqlite3.Connection, shard_index: int) -> None:
+        """Pragmas + schema on a fresh shard connection (quarantine-retried)."""
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
         with conn:
-            conn.execute(
-                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
-            )
-            row = conn.execute(
-                "SELECT value FROM meta WHERE key = 'schema_version'"
-            ).fetchone()
-            if row is not None and row[0] != str(STORE_SCHEMA_VERSION):
-                # A stale layout (e.g. v1's combined "namespace:hash" key
-                # column): drop everything, never attempt to reinterpret
-                # old rows.
+            if prepare_shard_meta(
+                conn,
+                schema_version=STORE_SCHEMA_VERSION,
+                num_shards=self.num_shards,
+                shard_index=shard_index,
+            ):
+                # A stale layout (e.g. v2's TEXT payloads) or a different
+                # key→shard routing: drop everything, never attempt to
+                # reinterpret — or mis-route — old rows.
                 conn.execute("DROP TABLE IF EXISTS results")
                 conn.execute("DROP TABLE IF EXISTS leases")
                 self.invalidated = True
@@ -141,7 +171,7 @@ class ResultStore:
                 " request_hash TEXT NOT NULL,"
                 " request_id TEXT NOT NULL,"
                 " dataset TEXT NOT NULL,"
-                " payload TEXT NOT NULL,"
+                " payload BLOB NOT NULL,"
                 " created_at REAL NOT NULL,"
                 " PRIMARY KEY (namespace, request_hash))"
             )
@@ -151,7 +181,7 @@ class ResultStore:
             )
             # The coordination table: at most one replica holds the lease
             # for a (namespace, hash) at a time; expiry makes crashed
-            # holders recoverable.
+            # holders recoverable.  Leases shard with their results.
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS leases ("
                 " namespace TEXT NOT NULL,"
@@ -161,61 +191,97 @@ class ResultStore:
                 " claimed_at REAL NOT NULL,"
                 " PRIMARY KEY (namespace, request_hash))"
             )
-            conn.execute(
-                "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
-                (str(STORE_SCHEMA_VERSION),),
-            )
 
-    def _write(self, operation: Callable[[], T]) -> T:
+    def _shard(self, request_hash: str) -> SqliteShard:
+        return self._pool.shard_for_hex(request_hash)
+
+    def _count(self, shard: Optional[SqliteShard], name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+            if shard is not None and name in _SHARD_COUNTERS:
+                self._shard_counters[shard.index][name] += amount
+
+    def _write(self, shard: SqliteShard, operation: Callable[[], T]) -> T:
         """Run a write transaction through the shared backoff helper.
 
         Transient ``database is locked`` errors from sibling replicas on
-        the same file degrade to bounded retries (counted in
-        ``write_retries``); anything else propagates unchanged.
+        the same shard file degrade to bounded retries (counted in
+        ``write_retries``, per shard); anything else propagates unchanged.
         """
 
         def count_retry(attempt: int, exc: BaseException, delay: float) -> None:
-            with self._lock:
-                self.write_retries += 1
+            self._count(shard, "write_retries")
 
         return retry_sqlite(operation, on_retry=count_retry)
 
     # -- lookups ----------------------------------------------------------------------
+    def get_payload_text(self, namespace: str, request_hash: str) -> Optional[str]:
+        """The stored result as raw JSON text, or ``None`` — the hot serving path.
+
+        Runs on this thread's pooled read connection: no lock, no JSON
+        parse, no re-encode — the serving layer splices the text straight
+        into its response.  A payload that is not valid UTF-8 or not a
+        JSON object at the byte level behaves like a miss and is removed
+        so it cannot keep failing (full JSON validation happens only in
+        :meth:`get_payload`, off the hot path).
+        """
+        shard = self._shard(request_hash)
+        row = shard.read_conn().execute(
+            "SELECT payload FROM results WHERE namespace = ? AND request_hash = ?",
+            (namespace, request_hash),
+        ).fetchone()
+        if row is None:
+            self._count(shard, "misses")
+            return None
+        raw = row[0]
+        try:
+            text = raw.decode("utf-8") if isinstance(raw, bytes) else str(raw)
+        except UnicodeDecodeError:
+            self._remove_corrupt(shard, namespace, request_hash)
+            return None
+        stripped = text.strip()
+        if not (stripped.startswith("{") and stripped.endswith("}")):
+            self._remove_corrupt(shard, namespace, request_hash)
+            return None
+        self._count(shard, "hits")
+        return text
+
     def get_payload(
         self, namespace: str, request_hash: str
     ) -> Optional[dict[str, Any]]:
         """The stored result dict under ``(namespace, request_hash)``, or ``None``.
 
-        The raw wire-format payload — what a serving layer returns without
-        re-materialising an :class:`ExploreResult`.  An unreadable payload
-        behaves like a miss and is removed so it cannot keep failing.
+        The parsed wire-format payload.  An unreadable payload behaves
+        like a miss and is removed so it cannot keep failing.
         """
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT payload FROM results"
-                " WHERE namespace = ? AND request_hash = ?",
-                (namespace, request_hash),
-            ).fetchone()
-            if row is None:
-                self.misses += 1
-                return None
+        text = self.get_payload_text(namespace, request_hash)
+        if text is None:
+            return None
         try:
-            payload = json.loads(row[0])
+            payload = json.loads(text)
             if not isinstance(payload, dict):
                 raise ValueError("result payload must be a JSON object")
         except Exception:
-            def remove() -> None:
-                with self._lock, self._conn:
-                    self._conn.execute(
-                        "DELETE FROM results WHERE namespace = ? AND request_hash = ?",
-                        (namespace, request_hash),
-                    )
-                    self.misses += 1
-            self._write(remove)
+            shard = self._shard(request_hash)
+            self._count(shard, "hits", -1)  # undo the raw-text hit
+            self._remove_corrupt(shard, namespace, request_hash)
             return None
-        with self._lock:
-            self.hits += 1
         return payload
+
+    def _remove_corrupt(
+        self, shard: SqliteShard, namespace: str, request_hash: str
+    ) -> None:
+        """Delete an unreadable row and count the lookup as a miss."""
+
+        def remove() -> None:
+            with shard.write_lock, shard.conn:
+                shard.conn.execute(
+                    "DELETE FROM results WHERE namespace = ? AND request_hash = ?",
+                    (namespace, request_hash),
+                )
+
+        self._write(shard, remove)
+        self._count(shard, "misses")
 
     def get(self, namespace: str, request_hash: str) -> Optional[ExploreResult]:
         """The stored :class:`ExploreResult`, or ``None``."""
@@ -227,63 +293,94 @@ class ResultStore:
         except Exception:
             # Parseable JSON that no longer matches the result schema (e.g.
             # written by a newer minor version): treat as a miss.
-            with self._lock:
-                self.hits -= 1
-                self.misses += 1
+            shard = self._shard(request_hash)
+            self._count(shard, "hits", -1)
+            self._count(shard, "misses")
             return None
 
     def contains(self, namespace: str, request_hash: str) -> bool:
         """Whether a result is stored under the key (no counter bump)."""
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT 1 FROM results WHERE namespace = ? AND request_hash = ?",
-                (namespace, request_hash),
-            ).fetchone()
+        row = self._shard(request_hash).read_conn().execute(
+            "SELECT 1 FROM results WHERE namespace = ? AND request_hash = ?",
+            (namespace, request_hash),
+        ).fetchone()
         return row is not None
 
     # -- writes -----------------------------------------------------------------------
-    def put(self, namespace: str, request_hash: str, result: ExploreResult) -> None:
-        """Persist *result* under ``(namespace, request_hash)`` in one transaction.
+    def commit_result(
+        self,
+        namespace: str,
+        request_hash: str,
+        payload_text: str,
+        *,
+        request_id: str = "",
+        dataset: str = "",
+        replica_id: Optional[str] = None,
+    ) -> bool:
+        """Persist pre-serialized *payload_text* — and release the lease — atomically.
+
+        One transaction on the key's shard: ``INSERT OR REPLACE`` the
+        result row and, with *replica_id*, delete that replica's lease on
+        the same key.  Merging the two closes the window where a result is
+        durable but its lease still held (a crash there previously left
+        siblings waiting out the TTL), and saves a write transaction per
+        execution.  Returns True when a lease row was released.
 
         ``INSERT OR REPLACE`` keeps the store idempotent under concurrent
         executions of the same request (last writer wins; both wrote
         identical work).
         """
-        payload = json.dumps(result.to_dict())
+        payload = payload_text.encode("utf-8")
         fault_point(SITE_STORE_COMMIT)
+        shard = self._shard(request_hash)
 
-        def insert() -> None:
-            with self._lock, self._conn:
+        def insert() -> int:
+            with shard.write_lock, shard.conn:
                 fault_point(SITE_STORE_WRITE)
-                self._conn.execute(
+                shard.conn.execute(
                     "INSERT OR REPLACE INTO results"
                     " (namespace, request_hash, request_id, dataset, payload, created_at)"
                     " VALUES (?, ?, ?, ?, ?, ?)",
-                    (
-                        namespace,
-                        request_hash,
-                        str(result.request.get("request_id", "")),
-                        result.dataset_name,
-                        payload,
-                        time.time(),
-                    ),
+                    (namespace, request_hash, request_id, dataset, payload, time.time()),
                 )
-                self.writes += 1
+                if replica_id is None:
+                    return 0
+                cursor = shard.conn.execute(
+                    "DELETE FROM leases WHERE namespace = ? AND request_hash = ?"
+                    " AND replica_id = ?",
+                    (namespace, request_hash, replica_id),
+                )
+                return cursor.rowcount
 
-        self._write(insert)
+        released = self._write(shard, insert)
+        self._count(shard, "writes")
+        if released:
+            self._count(None, "lease_releases", released)
+        return bool(released)
+
+    def put(self, namespace: str, request_hash: str, result: ExploreResult) -> None:
+        """Persist *result* under ``(namespace, request_hash)`` in one transaction."""
+        self.commit_result(
+            namespace,
+            request_hash,
+            json.dumps(result.to_dict()),
+            request_id=str(result.request.get("request_id", "")),
+            dataset=result.dataset_name,
+        )
 
     def delete(self, namespace: str, request_hash: str) -> bool:
         """Remove the row under the key; True when one existed."""
+        shard = self._shard(request_hash)
 
         def remove() -> bool:
-            with self._lock, self._conn:
-                cursor = self._conn.execute(
+            with shard.write_lock, shard.conn:
+                cursor = shard.conn.execute(
                     "DELETE FROM results WHERE namespace = ? AND request_hash = ?",
                     (namespace, request_hash),
                 )
                 return cursor.rowcount > 0
 
-        return self._write(remove)
+        return self._write(shard, remove)
 
     # -- leases (cross-replica exactly-once coordination) -----------------------------
     def claim(
@@ -291,26 +388,28 @@ class ResultStore:
     ) -> bool:
         """Compare-and-claim the execution lease for ``(namespace, request_hash)``.
 
-        One atomic upsert: the claim succeeds when no lease row exists, the
-        existing lease has **expired** (its holder stopped renewing — a
-        takeover, counted in ``lease_takeovers``), or *replica_id* already
-        holds it (re-entrant).  A live lease held by another replica leaves
-        the row untouched and returns ``False``.  Sqlite's single-writer
-        lock makes this safe across processes sharing the file.
+        One atomic upsert on the key's shard: the claim succeeds when no
+        lease row exists, the existing lease has **expired** (its holder
+        stopped renewing — a takeover, counted in ``lease_takeovers``), or
+        *replica_id* already holds it (re-entrant).  A live lease held by
+        another replica leaves the row untouched and returns ``False``.
+        Sqlite's per-file write lock makes this safe across processes
+        sharing the shard.
         """
         if ttl <= 0:
             raise ValueError(f"lease ttl must be positive, got {ttl}")
+        shard = self._shard(request_hash)
 
         def upsert() -> tuple[bool, bool]:
-            with self._lock, self._conn:
+            with shard.write_lock, shard.conn:
                 fault_point(SITE_STORE_WRITE)
                 now = time.time()
-                row = self._conn.execute(
+                row = shard.conn.execute(
                     "SELECT replica_id, expires_at FROM leases"
                     " WHERE namespace = ? AND request_hash = ?",
                     (namespace, request_hash),
                 ).fetchone()
-                cursor = self._conn.execute(
+                cursor = shard.conn.execute(
                     "INSERT INTO leases"
                     " (namespace, request_hash, replica_id, expires_at, claimed_at)"
                     " VALUES (?, ?, ?, ?, ?)"
@@ -323,12 +422,10 @@ class ResultStore:
                     (namespace, request_hash, replica_id, now + ttl, now, now),
                 )
                 claimed = cursor.rowcount > 0
-                takeover = (
-                    claimed and row is not None and row[0] != replica_id
-                )
+                takeover = claimed and row is not None and row[0] != replica_id
                 return claimed, takeover
 
-        claimed, takeover = self._write(upsert)
+        claimed, takeover = self._write(shard, upsert)
         if claimed:
             with self._lock:
                 self.lease_claims += 1
@@ -346,12 +443,13 @@ class ResultStore:
         """Extend a lease *replica_id* still holds; False when it was lost."""
         if ttl <= 0:
             raise ValueError(f"lease ttl must be positive, got {ttl}")
+        shard = self._shard(request_hash)
 
         def extend() -> bool:
-            with self._lock, self._conn:
+            with shard.write_lock, shard.conn:
                 fault_point(SITE_STORE_WRITE)
                 now = time.time()
-                cursor = self._conn.execute(
+                cursor = shard.conn.execute(
                     "UPDATE leases SET expires_at = ?"
                     " WHERE namespace = ? AND request_hash = ?"
                     "  AND replica_id = ? AND expires_at > ?",
@@ -359,147 +457,246 @@ class ResultStore:
                 )
                 return cursor.rowcount > 0
 
-        renewed = self._write(extend)
+        renewed = self._write(shard, extend)
         if renewed:
-            with self._lock:
-                self.lease_renewals += 1
+            self._count(None, "lease_renewals")
+        return renewed
+
+    def renew_many(
+        self,
+        namespace: str,
+        request_hashes: Iterable[str],
+        replica_id: str,
+        ttl: float,
+    ) -> int:
+        """Extend every listed lease *replica_id* still holds; returns the count.
+
+        The heartbeat path: one ``UPDATE ... WHERE request_hash IN (...)``
+        statement per shard instead of a transaction per lease, so a
+        replica holding many leases renews them in at most ``num_shards``
+        writes per beat.
+        """
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+        hashes = list(dict.fromkeys(request_hashes))
+        if not hashes:
+            return 0
+        groups = self._pool.group_by_shard(hashes, self._shard)
+        renewed = 0
+        for shard, members in groups.items():
+
+            def extend(shard: SqliteShard = shard, members: list[str] = members) -> int:
+                with shard.write_lock, shard.conn:
+                    fault_point(SITE_STORE_WRITE)
+                    now = time.time()
+                    placeholders = ",".join("?" for _ in members)
+                    cursor = shard.conn.execute(
+                        "UPDATE leases SET expires_at = ?"
+                        f" WHERE namespace = ? AND request_hash IN ({placeholders})"
+                        "  AND replica_id = ? AND expires_at > ?",
+                        [now + ttl, namespace, *members, replica_id, now],
+                    )
+                    return cursor.rowcount
+
+            renewed += self._write(shard, extend)
+        if renewed:
+            self._count(None, "lease_renewals", renewed)
         return renewed
 
     def release(self, namespace: str, request_hash: str, replica_id: str) -> bool:
         """Drop the lease iff *replica_id* holds it; True when a row was removed."""
+        shard = self._shard(request_hash)
 
         def drop() -> bool:
-            with self._lock, self._conn:
+            with shard.write_lock, shard.conn:
                 fault_point(SITE_STORE_WRITE)
-                cursor = self._conn.execute(
+                cursor = shard.conn.execute(
                     "DELETE FROM leases WHERE namespace = ? AND request_hash = ?"
                     " AND replica_id = ?",
                     (namespace, request_hash, replica_id),
                 )
                 return cursor.rowcount > 0
 
-        released = self._write(drop)
+        released = self._write(shard, drop)
         if released:
-            with self._lock:
-                self.lease_releases += 1
+            self._count(None, "lease_releases")
         return released
 
     def release_all(self, replica_id: str) -> int:
-        """Drop every lease held by *replica_id* (graceful-drain cleanup)."""
+        """Drop every lease held by *replica_id*, shard by shard (drain cleanup)."""
+        released = 0
+        for shard in self._pool.shards:
 
-        def drop() -> int:
-            with self._lock, self._conn:
-                cursor = self._conn.execute(
-                    "DELETE FROM leases WHERE replica_id = ?", (replica_id,)
-                )
-                return cursor.rowcount
+            def drop(shard: SqliteShard = shard) -> int:
+                with shard.write_lock, shard.conn:
+                    cursor = shard.conn.execute(
+                        "DELETE FROM leases WHERE replica_id = ?", (replica_id,)
+                    )
+                    return cursor.rowcount
 
-        released = self._write(drop)
-        with self._lock:
-            self.lease_releases += released
+            released += self._write(shard, drop)
+        if released:
+            self._count(None, "lease_releases", released)
         return released
 
     def lease(self, namespace: str, request_hash: str) -> Optional[dict[str, Any]]:
         """The **live** lease on the key, or ``None`` (expired rows don't count)."""
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT replica_id, expires_at, claimed_at FROM leases"
-                " WHERE namespace = ? AND request_hash = ? AND expires_at > ?",
-                (namespace, request_hash, time.time()),
-            ).fetchone()
+        row = self._shard(request_hash).read_conn().execute(
+            "SELECT replica_id, expires_at, claimed_at FROM leases"
+            " WHERE namespace = ? AND request_hash = ? AND expires_at > ?",
+            (namespace, request_hash, time.time()),
+        ).fetchone()
         if row is None:
             return None
         return {"replica_id": row[0], "expires_at": row[1], "claimed_at": row[2]}
 
     def leases_held(self, replica_id: str) -> list[str]:
-        """Request hashes whose live lease *replica_id* currently holds."""
-        with self._lock:
-            rows = self._conn.execute(
-                "SELECT request_hash FROM leases"
-                " WHERE replica_id = ? AND expires_at > ? ORDER BY claimed_at",
-                (replica_id, time.time()),
-            ).fetchall()
-        return [row[0] for row in rows]
+        """Request hashes whose live lease *replica_id* holds (oldest claim first)."""
+        now = time.time()
+        rows: list[tuple[float, str]] = []
+        for shard in self._pool.shards:
+            rows.extend(
+                (claimed_at, request_hash)
+                for request_hash, claimed_at in shard.read_conn().execute(
+                    "SELECT request_hash, claimed_at FROM leases"
+                    " WHERE replica_id = ? AND expires_at > ?",
+                    (replica_id, now),
+                ).fetchall()
+            )
+        rows.sort()
+        return [request_hash for _, request_hash in rows]
 
     def expire_leases(self) -> int:
-        """Delete expired lease rows (housekeeping; claims handle them in place)."""
+        """Delete expired lease rows: one ``DELETE`` statement per shard.
 
-        def sweep() -> int:
-            with self._lock, self._conn:
-                cursor = self._conn.execute(
-                    "DELETE FROM leases WHERE expires_at <= ?", (time.time(),)
-                )
-                return cursor.rowcount
+        Housekeeping only — claims handle expired rows in place (and count
+        takeovers); this sweep just keeps the lease tables from
+        accumulating corpses.
+        """
+        expired = 0
+        for shard in self._pool.shards:
 
-        return self._write(sweep)
+            def sweep(shard: SqliteShard = shard) -> int:
+                with shard.write_lock, shard.conn:
+                    cursor = shard.conn.execute(
+                        "DELETE FROM leases WHERE expires_at <= ?", (time.time(),)
+                    )
+                    return cursor.rowcount
+
+            expired += self._write(shard, sweep)
+        return expired
 
     # -- maintenance ------------------------------------------------------------------
     def __len__(self) -> int:
-        with self._lock:
-            return int(
-                self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        return sum(
+            int(
+                shard.read_conn()
+                .execute("SELECT COUNT(*) FROM results")
+                .fetchone()[0]
             )
+            for shard in self._pool.shards
+        )
 
     def request_hashes(self, namespace: Optional[str] = None) -> list[str]:
-        """Stored hashes, oldest first (the replay/audit index).
+        """Stored hashes, oldest first across all shards (the replay/audit index).
 
         With *namespace*, only that configuration's hashes; without, every
         stored hash across namespaces.
         """
-        with self._lock:
+        rows: list[tuple[float, str]] = []
+        for shard in self._pool.shards:
             if namespace is None:
-                rows = self._conn.execute(
-                    "SELECT request_hash FROM results ORDER BY created_at"
+                fetched = shard.read_conn().execute(
+                    "SELECT created_at, request_hash FROM results"
                 ).fetchall()
             else:
-                rows = self._conn.execute(
-                    "SELECT request_hash FROM results WHERE namespace = ?"
-                    " ORDER BY created_at",
+                fetched = shard.read_conn().execute(
+                    "SELECT created_at, request_hash FROM results WHERE namespace = ?",
                     (namespace,),
                 ).fetchall()
-        return [row[0] for row in rows]
+            rows.extend(fetched)
+        rows.sort(key=lambda row: row[0])
+        return [request_hash for _, request_hash in rows]
 
     def prune(self, older_than: float) -> int:
-        """Delete results written more than *older_than* seconds ago.
+        """Delete results written more than *older_than* seconds ago, per shard.
 
         The disk analogue of the scheduler's terminal-ticket GC: a
         long-running server calls this periodically so the store stays
         bounded while recent results remain servable.  Expired lease rows
-        ride along.  Returns the number of result rows removed.
+        ride along in the same per-shard transactions.  Returns the number
+        of result rows removed.
         """
         if older_than < 0:
             raise ValueError(f"older_than must be >= 0, got {older_than}")
         cutoff = time.time() - older_than
+        removed = 0
+        for shard in self._pool.shards:
 
-        def sweep() -> int:
-            with self._lock, self._conn:
-                cursor = self._conn.execute(
-                    "DELETE FROM results WHERE created_at < ?", (cutoff,)
-                )
-                removed = cursor.rowcount
-                self._conn.execute(
-                    "DELETE FROM leases WHERE expires_at <= ?", (time.time(),)
-                )
-                self.pruned += removed
-                return removed
+            def sweep(shard: SqliteShard = shard) -> int:
+                with shard.write_lock, shard.conn:
+                    cursor = shard.conn.execute(
+                        "DELETE FROM results WHERE created_at < ?", (cutoff,)
+                    )
+                    shard.conn.execute(
+                        "DELETE FROM leases WHERE expires_at <= ?", (time.time(),)
+                    )
+                    return cursor.rowcount
 
-        return self._write(sweep)
+            removed += self._write(shard, sweep)
+        self._count(None, "pruned", removed)
+        return removed
 
     def clear(self) -> None:
-        """Drop every stored result and lease (the schema version row stays)."""
+        """Drop every stored result and lease (the schema version rows stay)."""
+        for shard in self._pool.shards:
 
-        def wipe() -> None:
-            with self._lock, self._conn:
-                self._conn.execute("DELETE FROM results")
-                self._conn.execute("DELETE FROM leases")
+            def wipe(shard: SqliteShard = shard) -> None:
+                with shard.write_lock, shard.conn:
+                    shard.conn.execute("DELETE FROM results")
+                    shard.conn.execute("DELETE FROM leases")
 
-        self._write(wipe)
+            self._write(shard, wipe)
+
+    def shard_stats(self) -> list[dict[str, Any]]:
+        """Per-shard telemetry: the ``/stats`` / ``/healthz`` contention view.
+
+        One row per shard file — entries, live leases held, and that
+        shard's slice of the hit/miss/write/retry counters — so hot shards
+        and lock contention are observable per file, not just in
+        aggregate.
+        """
+        now = time.time()
+        rows: list[dict[str, Any]] = []
+        with self._lock:
+            counters = [dict(shard) for shard in self._shard_counters]
+        for shard in self._pool.shards:
+            entries = int(
+                shard.read_conn().execute("SELECT COUNT(*) FROM results").fetchone()[0]
+            )
+            leases_held = int(
+                shard.read_conn().execute(
+                    "SELECT COUNT(*) FROM leases WHERE expires_at > ?", (now,)
+                ).fetchone()[0]
+            )
+            rows.append(
+                {
+                    "shard": shard.index,
+                    "path": str(shard.path),
+                    "entries": entries,
+                    "leases_held": leases_held,
+                    **counters[shard.index],
+                }
+            )
+        return rows
 
     def describe(self) -> dict[str, Any]:
+        shards = self.shard_stats()
         return {
             "path": str(self.path),
             "schema_version": STORE_SCHEMA_VERSION,
-            "entries": len(self),
+            "num_shards": self.num_shards,
+            "entries": sum(shard["entries"] for shard in shards),
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
@@ -507,17 +704,18 @@ class ResultStore:
             "write_retries": self.write_retries,
             "invalidated": self.invalidated,
             "quarantined_path": self.quarantined_path,
+            "quarantined_paths": self._pool.quarantined_paths(),
             "leases": {
                 "claims": self.lease_claims,
                 "takeovers": self.lease_takeovers,
                 "renewals": self.lease_renewals,
                 "releases": self.lease_releases,
             },
+            "shards": shards,
         }
 
     def close(self) -> None:
-        with self._lock:
-            self._conn.close()
+        self._pool.close()
 
     def __enter__(self) -> "ResultStore":
         return self

@@ -4,12 +4,16 @@ The in-memory :class:`~repro.explore.cache.ExecutionCache` dies with its
 process, so every benchmark sweep, every engine restart and every process-
 pool worker starts cold.  This module adds the durable tier:
 
-* :class:`DiskCacheTier` — a sqlite store of serialized result views keyed
-  by a canonical hash of the PR-3 buffer fingerprint + operation signature.
-  WAL journaling lets many processes read and write one cache file
-  concurrently; a schema-version row invalidates the whole store wholesale
-  when the payload or digest format changes (stale formats are *dropped*,
-  never misread).
+* :class:`DiskCacheTier` — a sharded sqlite store of serialized result
+  views keyed by a canonical hash of the PR-3 buffer fingerprint +
+  operation signature.  Keys stripe over ``num_shards`` WAL files by a
+  stable digest prefix (see :mod:`repro.shards`), each with its own write
+  lock and per-thread read connections, so concurrent lookups never queue
+  behind each other or behind a writer and write-behind flushes become one
+  ``executemany`` batch per shard.  A schema-version (or shard-count) row
+  per shard invalidates a stale shard wholesale when the payload, digest
+  format or key→shard routing changes (stale formats are *dropped*, never
+  misread).
 * :class:`TieredExecutionCache` — the drop-in ``ExecutionCache`` subclass
   that layers the memory LRU over a disk tier: **read-through** (a memory
   miss falls through to disk and promotes the row back into the LRU) and
@@ -50,9 +54,9 @@ from repro.reliability import (
     SITE_CACHE_PAYLOAD,
     SITE_CACHE_WRITE,
     fault_point,
-    open_sqlite_verified,
     retry_sqlite,
 )
+from repro.shards import ShardedSqlite, prepare_shard_meta
 
 from .cache import (
     DEFAULT_MAX_ENTRIES,
@@ -177,26 +181,36 @@ def deserialize_table(payload: bytes) -> DataTable:
 # -- the disk tier ------------------------------------------------------------------------
 
 class DiskCacheTier:
-    """Persistent sqlite store of serialized execution results.
+    """Persistent, sharded sqlite store of serialized execution results.
 
-    One file serves many processes: WAL journaling allows concurrent
-    readers alongside a writer, and ``busy_timeout`` serialises competing
-    write transactions instead of failing them.  All public operations are
-    additionally guarded by an in-process lock so one tier instance can be
-    shared across threads.
+    Keys stripe over ``num_shards`` WAL files by a stable digest prefix,
+    so writers to different shards never collide and each shard's WAL
+    journaling still allows concurrent readers alongside its one writer;
+    ``busy_timeout`` serialises competing write transactions on the same
+    shard instead of failing them.  Lookups run on per-thread pooled read
+    connections with no lock at all; writes serialize per shard on that
+    shard's write lock, so one tier instance is shared across threads.
 
     Parameters
     ----------
     path:
-        The sqlite file (parent directories are created).  Conventionally
-        ``<dir>/execution_cache.sqlite``.
+        The sqlite file of shard 0 (parent directories are created).
+        Conventionally ``<dir>/execution_cache.sqlite``; shards 1..N-1
+        live at ``execution_cache.sqlite.shard<k>`` alongside it.
     timeout:
         Seconds a writer waits on a locked database before giving up.
+    num_shards:
+        How many sqlite files the key space is striped over.  ``1``
+        (default) keeps the legacy single-file layout; a cache opened at a
+        different count than it was written with is dropped wholesale
+        (per-shard meta guards the routing — a dropped cache repopulates,
+        it never mis-routes).
     """
 
-    def __init__(self, path: str | Path, timeout: float = 30.0):
+    def __init__(self, path: str | Path, timeout: float = 30.0, num_shards: int = 1):
         self.path = Path(path)
-        self._lock = threading.Lock()
+        self.num_shards = num_shards
+        self._lock = threading.Lock()  # guards counters only, never I/O
         #: Lookups served from disk / fallen through / rows written.
         self.hits = 0
         self.misses = 0
@@ -205,33 +219,34 @@ class DiskCacheTier:
         #: Transient ``database is locked`` failures absorbed by the shared
         #: backoff helper (telemetry for multi-replica write contention).
         self.write_retries = 0
-        #: True when a version mismatch dropped a pre-existing store.
+        #: True when a version/shard-count mismatch dropped existing rows.
         self.invalidated = False
-        # A corrupt/truncated cache file is quarantine-renamed and the tier
-        # rebuilds fresh, mirroring the wholesale schema-version drop —
-        # cache corruption must never fail engine construction.
-        self._conn, quarantined = open_sqlite_verified(
-            self.path, timeout, initialize=self._initialize
-        )
-        #: Where a corrupt pre-existing file was renamed on open, if any.
-        self.quarantined_path: Optional[str] = (
-            str(quarantined) if quarantined is not None else None
-        )
+        # A corrupt/truncated shard file is quarantine-renamed and rebuilt
+        # fresh, mirroring the wholesale schema-version drop — cache
+        # corruption must never fail engine construction.
+        self._pool = ShardedSqlite(self.path, num_shards, timeout, self._initialize)
+        #: Where a corrupt pre-existing shard file was renamed on open, if any.
+        quarantined = self._pool.quarantined_paths()
+        self.quarantined_path: Optional[str] = quarantined[0] if quarantined else None
 
     # -- schema -------------------------------------------------------------------
-    def _initialize(self, conn: sqlite3.Connection) -> None:
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        """Shard 0's write connection (compatibility handle for tests/tools)."""
+        return self._pool.shards[0].conn
+
+    def _initialize(self, conn: sqlite3.Connection, shard_index: int) -> None:
         conn.execute("PRAGMA journal_mode=WAL")
         conn.execute("PRAGMA synchronous=NORMAL")
         with conn:
-            conn.execute(
-                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
-            )
-            row = conn.execute(
-                "SELECT value FROM meta WHERE key = 'schema_version'"
-            ).fetchone()
-            if row is not None and row[0] != str(DISK_SCHEMA_VERSION):
-                # A stale digest/payload format: drop everything, never
-                # attempt to reinterpret old rows.
+            if prepare_shard_meta(
+                conn,
+                schema_version=DISK_SCHEMA_VERSION,
+                num_shards=self.num_shards,
+                shard_index=shard_index,
+            ):
+                # A stale digest/payload format or key→shard routing: drop
+                # everything, never attempt to reinterpret old rows.
                 conn.execute("DROP TABLE IF EXISTS entries")
                 self.invalidated = True
             conn.execute(
@@ -241,29 +256,27 @@ class DiskCacheTier:
                 " rows INTEGER NOT NULL,"
                 " created_at REAL NOT NULL)"
             )
-            conn.execute(
-                "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
-                (str(DISK_SCHEMA_VERSION),),
-            )
 
     # -- lookups ------------------------------------------------------------------
     def get(self, key: CacheKey) -> Optional[DataTable]:
         """The stored result view under *key*, or ``None``."""
         encoded = encode_key(key)
-        with self._lock:
-            row = self._conn.execute(
-                "SELECT payload FROM entries WHERE key = ?", (encoded,)
-            ).fetchone()
-            if row is None:
+        shard = self._pool.shard_for_digest(encoded)
+        row = shard.read_conn().execute(
+            "SELECT payload FROM entries WHERE key = ?", (encoded,)
+        ).fetchone()
+        if row is None:
+            with self._lock:
                 self.misses += 1
-                return None
+            return None
         try:
             table = deserialize_table(row[0])
         except Exception:
             # An unreadable payload behaves like a miss (and is removed so
             # it cannot keep failing).
-            with self._lock, self._conn:
-                self._conn.execute("DELETE FROM entries WHERE key = ?", (encoded,))
+            with shard.write_lock, shard.conn:
+                shard.conn.execute("DELETE FROM entries WHERE key = ?", (encoded,))
+            with self._lock:
                 self.misses += 1
             return None
         with self._lock:
@@ -271,10 +284,13 @@ class DiskCacheTier:
         return table
 
     def put_many(self, items: Iterable[tuple[CacheKey, DataTable]]) -> int:
-        """Insert (or replace) a batch of results in one transaction.
+        """Insert (or replace) a batch of results, one transaction per shard.
 
-        Transient lock contention from sibling replicas retries with
-        backoff (``write_retries`` counts the absorbed failures); the
+        The batch is partitioned by owning shard and lands as one
+        ``executemany`` per shard file, so a flush touches each shard's
+        write lock at most once.  Transient lock contention from sibling
+        replicas retries with backoff (``write_retries`` counts the
+        absorbed failures); the
         :data:`~repro.reliability.SITE_CACHE_PAYLOAD` seam lets the fault
         harness tear a payload mid-write, which :meth:`get` must then
         repair as a miss.
@@ -293,20 +309,28 @@ class DiskCacheTier:
             return 0
 
         def count_retry(attempt: int, exc: BaseException, delay: float) -> None:
-            self.write_retries += 1
+            with self._lock:
+                self.write_retries += 1
 
-        def insert() -> None:
-            with self._lock, self._conn:
-                fault_point(SITE_CACHE_WRITE)
-                self._conn.executemany(
-                    "INSERT OR REPLACE INTO entries (key, payload, rows, created_at)"
-                    " VALUES (?, ?, ?, ?)",
-                    rows,
-                )
-                self.writes += len(rows)
-                self.flushes += 1
+        groups = self._pool.group_by_shard(
+            rows, lambda row: self._pool.shard_for_digest(row[0])
+        )
+        for shard, batch in groups.items():
 
-        retry_sqlite(insert, on_retry=count_retry)
+            def insert(shard=shard, batch=batch) -> None:
+                with shard.write_lock, shard.conn:
+                    fault_point(SITE_CACHE_WRITE)
+                    shard.conn.executemany(
+                        "INSERT OR REPLACE INTO entries (key, payload, rows, created_at)"
+                        " VALUES (?, ?, ?, ?)",
+                        batch,
+                    )
+                with self._lock:
+                    self.writes += len(batch)
+
+            retry_sqlite(insert, on_retry=count_retry)
+        with self._lock:
+            self.flushes += 1
         return len(rows)
 
     def put(self, key: CacheKey, table: DataTable) -> None:
@@ -314,28 +338,52 @@ class DiskCacheTier:
 
     # -- maintenance ---------------------------------------------------------------
     def __len__(self) -> int:
-        with self._lock:
-            return int(
-                self._conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+        return sum(
+            int(
+                shard.read_conn()
+                .execute("SELECT COUNT(*) FROM entries")
+                .fetchone()[0]
             )
+            for shard in self._pool.shards
+        )
 
     def stored_rows(self) -> int:
         """Total result rows persisted (the disk analogue of ``cached_rows``)."""
-        with self._lock:
-            value = self._conn.execute(
-                "SELECT COALESCE(SUM(rows), 0) FROM entries"
-            ).fetchone()[0]
-        return int(value)
+        return sum(
+            int(
+                shard.read_conn()
+                .execute("SELECT COALESCE(SUM(rows), 0) FROM entries")
+                .fetchone()[0]
+            )
+            for shard in self._pool.shards
+        )
 
     def clear(self) -> None:
-        """Drop every persisted entry (the schema version row stays)."""
-        with self._lock, self._conn:
-            self._conn.execute("DELETE FROM entries")
+        """Drop every persisted entry (the schema version rows stay)."""
+        for shard in self._pool.shards:
+            with shard.write_lock, shard.conn:
+                shard.conn.execute("DELETE FROM entries")
+
+    def shard_stats(self) -> list[dict[str, Any]]:
+        """Per-shard occupancy (one row per shard file, for telemetry)."""
+        return [
+            {
+                "shard": shard.index,
+                "path": str(shard.path),
+                "entries": int(
+                    shard.read_conn()
+                    .execute("SELECT COUNT(*) FROM entries")
+                    .fetchone()[0]
+                ),
+            }
+            for shard in self._pool.shards
+        ]
 
     def describe(self) -> dict[str, Any]:
         return {
             "path": str(self.path),
             "schema_version": DISK_SCHEMA_VERSION,
+            "num_shards": self.num_shards,
             "entries": len(self),
             "stored_rows": self.stored_rows(),
             "hits": self.hits,
@@ -345,11 +393,11 @@ class DiskCacheTier:
             "write_retries": self.write_retries,
             "invalidated": self.invalidated,
             "quarantined_path": self.quarantined_path,
+            "shards": self.shard_stats(),
         }
 
     def close(self) -> None:
-        with self._lock:
-            self._conn.close()
+        self._pool.close()
 
     def __enter__(self) -> "DiskCacheTier":
         return self
@@ -383,6 +431,7 @@ class TieredExecutionCache(ExecutionCache):
         max_cached_rows: int | None = None,
         max_error_entries: int = DEFAULT_MAX_ERROR_ENTRIES,
         write_batch_size: int = DEFAULT_WRITE_BATCH,
+        disk_shards: int = 1,
     ):
         super().__init__(
             max_entries=max_entries,
@@ -391,7 +440,11 @@ class TieredExecutionCache(ExecutionCache):
         )
         if write_batch_size < 1:
             raise ValueError("write_batch_size must be positive")
-        self.disk = disk if isinstance(disk, DiskCacheTier) else DiskCacheTier(disk)
+        self.disk = (
+            disk
+            if isinstance(disk, DiskCacheTier)
+            else DiskCacheTier(disk, num_shards=disk_shards)
+        )
         self.write_batch_size = write_batch_size
         self._pending: "OrderedDict[CacheKey, DataTable]" = OrderedDict()
         #: Flushes abandoned because the disk tier stayed locked through
@@ -492,6 +545,7 @@ class TieredExecutionCache(ExecutionCache):
         summary["disk_entries"] = len(self.disk)
         summary["disk_stored_rows"] = self.disk.stored_rows()
         summary["disk_schema_version"] = DISK_SCHEMA_VERSION
+        summary["disk_shards"] = self.disk.num_shards
         return summary
 
 
@@ -515,6 +569,7 @@ class ThreadSafeTieredExecutionCache(LockGuardedCacheOps, TieredExecutionCache):
         max_cached_rows: int | None = None,
         max_error_entries: int = DEFAULT_MAX_ERROR_ENTRIES,
         write_batch_size: int = DEFAULT_WRITE_BATCH,
+        disk_shards: int = 1,
     ):
         super().__init__(
             disk,
@@ -522,6 +577,7 @@ class ThreadSafeTieredExecutionCache(LockGuardedCacheOps, TieredExecutionCache):
             max_cached_rows=max_cached_rows,
             max_error_entries=max_error_entries,
             write_batch_size=write_batch_size,
+            disk_shards=disk_shards,
         )
         self._lock = threading.RLock()
 

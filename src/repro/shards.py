@@ -1,0 +1,309 @@
+"""Sharded, connection-pooled sqlite infrastructure for the persistence tier.
+
+PR 9 put N replicas and their worker threads over single-file sqlite stores
+(:class:`~repro.engine.store.ResultStore`,
+:class:`~repro.explore.diskcache.DiskCacheTier`), but every read and write
+funnelled through one ``threading.Lock`` around one connection — WAL's
+reader concurrency was thrown away, and writers from different replicas
+collided on one file's write lock.  This module supplies the shared
+machinery both stores now build on:
+
+* **Key-range sharding** — every ``(namespace, request_hash)`` / cache key
+  routes to one of ``num_shards`` sqlite files by a stable prefix of its
+  existing hash (:func:`shard_index_for_hex` /
+  :func:`shard_index_for_digest`), giving each shard its own WAL file and
+  its own write lock, so writers to different shards never queue behind
+  each other.  Shard 0 lives at the caller's original path (a
+  ``num_shards=1`` store is file-layout-compatible with the legacy
+  single-file layout); shards 1..N-1 are ``<name>.shard<k>`` siblings.
+* **Per-thread read pooling** — each shard hands every reader thread its
+  own connection (:meth:`SqliteShard.read_conn`), so concurrent lookups
+  run lock-free beside each other *and* beside a writer, which is exactly
+  the concurrency WAL journaling provides.  Read connections are opened
+  ``query_only`` with a generous ``mmap_size`` so the hot lookup path is a
+  page-cache read, not a write-lock acquisition.
+* **Per-shard metadata** — every shard file records the schema version,
+  the shard count and its own index (:func:`prepare_shard_meta`).  A store
+  opened with a different shard count *detects the mismatch and drops the
+  shard wholesale* rather than mis-routing keys, the same policy prior
+  schema bumps established; orphaned shard files beyond the configured
+  count are unlinked on open (:func:`remove_orphan_shards`).
+
+The reliability seams compose per shard: each shard file is opened through
+:func:`~repro.reliability.open_sqlite_verified` (corrupt files are
+quarantine-renamed per shard), and callers wrap their per-shard write
+transactions in :func:`~repro.reliability.retry_sqlite` exactly as they
+did for the single file.  Like :mod:`repro.reliability`, this module is
+stdlib-only and imports nothing above it, so both :mod:`repro.engine` and
+:mod:`repro.explore` can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, TypeVar
+
+from repro.reliability import open_sqlite_verified
+
+T = TypeVar("T")
+
+#: Sibling-file naming for shards 1..N-1 (shard 0 keeps the original path).
+_SHARD_FILE_RE = re.compile(r"\.shard(\d+)$")
+
+#: ``mmap_size`` pragma applied to read connections: lookups become
+#: page-cache reads instead of read() syscalls.  64 MiB comfortably covers
+#: a serving store; sqlite treats it as an upper bound, not an allocation.
+READ_MMAP_BYTES = 64 * 1024 * 1024
+
+
+def shard_index_for_hex(request_hash: str, num_shards: int) -> int:
+    """The shard a hex request hash routes to: ``int(hash[:8], 16) % num_shards``.
+
+    Stable across processes and runs by construction — the routing input is
+    the hash string itself, never Python's per-process ``hash()``.  Non-hex
+    keys (tests, ad-hoc callers) fall back to a byte-prefix integer, which
+    is equally stable.
+    """
+    if num_shards <= 1:
+        return 0
+    prefix = request_hash[:8]
+    try:
+        value = int(prefix, 16)
+    except ValueError:
+        value = int.from_bytes(prefix.encode("utf-8", "replace"), "big")
+    return value % num_shards
+
+
+def shard_index_for_digest(digest: bytes, num_shards: int) -> int:
+    """The shard a binary cache-key digest routes to (first 4 bytes, big-endian)."""
+    if num_shards <= 1:
+        return 0
+    return int.from_bytes(digest[:4], "big") % num_shards
+
+
+def shard_path(path: Path, index: int) -> Path:
+    """Shard *index*'s file: the original *path* for 0, ``<name>.shard<k>`` above."""
+    if index == 0:
+        return path
+    return path.with_name(f"{path.name}.shard{index}")
+
+
+def remove_orphan_shards(path: Path, num_shards: int) -> list[Path]:
+    """Unlink shard files of *path* with an index >= *num_shards*.
+
+    Re-opening a store at a smaller shard count would otherwise leave
+    higher-numbered shard files around to be misread by a later open at
+    the old count; the meta check would drop them anyway, so removing them
+    eagerly (WAL/SHM siblings included) just keeps the directory honest.
+    Returns the removed paths.
+    """
+    removed: list[Path] = []
+    prefix = f"{path.name}.shard"
+    if not path.parent.exists():
+        return removed
+    for candidate in path.parent.iterdir():
+        name = candidate.name
+        if not name.startswith(prefix):
+            continue
+        match = _SHARD_FILE_RE.search(name)
+        if match is None or int(match.group(1)) < num_shards:
+            continue
+        for stale in (candidate, Path(str(candidate) + "-wal"), Path(str(candidate) + "-shm")):
+            try:
+                stale.unlink()
+                if stale is candidate:
+                    removed.append(candidate)
+            except OSError:
+                pass
+    return removed
+
+
+def prepare_shard_meta(
+    conn: sqlite3.Connection,
+    *,
+    schema_version: int,
+    num_shards: int,
+    shard_index: int,
+) -> bool:
+    """Create/verify the shard's ``meta`` table; True when old tables must drop.
+
+    A pre-existing file whose recorded schema version, shard count or shard
+    index disagrees with the caller's is **stale**: its rows were written
+    under a different layout or a different key→shard routing, so the
+    caller must drop its tables wholesale rather than reinterpret (or
+    mis-route) them.  A file with no ``num_shards`` row is a legacy
+    single-file store, which counts as ``num_shards=1``.  The caller's
+    values are (re)written afterwards, so the next open at the same
+    configuration is clean.  Runs inside the caller's initialize
+    transaction.
+    """
+    conn.execute("CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)")
+    recorded = dict(
+        conn.execute(
+            "SELECT key, value FROM meta"
+            " WHERE key IN ('schema_version', 'num_shards', 'shard_index')"
+        ).fetchall()
+    )
+    drop = bool(recorded) and (
+        recorded.get("schema_version") != str(schema_version)
+        or recorded.get("num_shards", "1") != str(num_shards)
+        or recorded.get("shard_index", "0") != str(shard_index)
+    )
+    conn.executemany(
+        "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+        [
+            ("schema_version", str(schema_version)),
+            ("num_shards", str(num_shards)),
+            ("shard_index", str(shard_index)),
+        ],
+    )
+    return drop
+
+
+class SqliteShard:
+    """One shard file: a single write connection + lock, per-thread readers.
+
+    Writes serialize on :attr:`write_lock` around :attr:`conn` (one writer
+    per WAL file is a sqlite invariant anyway); reads go through
+    :meth:`read_conn`, which hands each calling thread its own pooled
+    connection so lookups never queue behind each other or behind the
+    writer.  Every opened read connection is registered so :meth:`close`
+    can tear the whole pool down.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        path: Path,
+        timeout: float,
+        initialize: Callable[[sqlite3.Connection, int], None],
+    ):
+        self.index = index
+        self.path = path
+        self.timeout = timeout
+        self.write_lock = threading.Lock()
+        self.conn, quarantined = open_sqlite_verified(
+            path, timeout, initialize=lambda conn: initialize(conn, index)
+        )
+        #: Where a corrupt pre-existing shard file was renamed, if any.
+        self.quarantined_path: Optional[str] = (
+            str(quarantined) if quarantined is not None else None
+        )
+        self._read_local = threading.local()
+        self._read_conns: list[sqlite3.Connection] = []
+        self._read_conns_lock = threading.Lock()
+        self._closed = False
+
+    def read_conn(self) -> sqlite3.Connection:
+        """This thread's pooled read connection (opened lazily, reused forever).
+
+        ``query_only`` guards against accidental writes outside the write
+        lock; ``mmap_size`` turns repeat lookups into page-cache reads.
+        Python's sqlite3 caches prepared statements per connection, so a
+        thread re-running the same lookup skips re-parsing the SQL too.
+        """
+        conn = getattr(self._read_local, "conn", None)
+        if conn is not None:
+            return conn
+        if self._closed:
+            raise sqlite3.ProgrammingError("cannot read from a closed shard")
+        conn = sqlite3.connect(
+            str(self.path), timeout=self.timeout, check_same_thread=False
+        )
+        conn.execute(f"PRAGMA mmap_size={READ_MMAP_BYTES}")
+        conn.execute("PRAGMA query_only=ON")
+        self._read_local.conn = conn
+        with self._read_conns_lock:
+            self._read_conns.append(conn)
+        return conn
+
+    def close(self) -> None:
+        self._closed = True
+        with self._read_conns_lock:
+            for conn in self._read_conns:
+                try:
+                    conn.close()
+                except Exception:  # noqa: BLE001 — close is best-effort
+                    pass
+            self._read_conns.clear()
+        self._read_local = threading.local()
+        with self.write_lock:
+            self.conn.close()
+
+
+class ShardedSqlite:
+    """A fixed set of :class:`SqliteShard` files under one logical path.
+
+    Construction removes orphaned shard files beyond *num_shards*, then
+    opens every shard through the corrupt-file-quarantining
+    :func:`~repro.reliability.open_sqlite_verified`, calling
+    ``initialize(conn, shard_index)`` on each — where the owning store
+    runs its pragmas, schema and :func:`prepare_shard_meta` check.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        num_shards: int,
+        timeout: float,
+        initialize: Callable[[sqlite3.Connection, int], None],
+    ):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.path = Path(path)
+        self.num_shards = num_shards
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        remove_orphan_shards(self.path, num_shards)
+        self.shards: list[SqliteShard] = []
+        try:
+            for index in range(num_shards):
+                self.shards.append(
+                    SqliteShard(index, shard_path(self.path, index), timeout, initialize)
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    def shard_for_hex(self, request_hash: str) -> SqliteShard:
+        return self.shards[shard_index_for_hex(request_hash, self.num_shards)]
+
+    def shard_for_digest(self, digest: bytes) -> SqliteShard:
+        return self.shards[shard_index_for_digest(digest, self.num_shards)]
+
+    def group_by_shard(
+        self, items: Iterable[T], key: Callable[[T], SqliteShard]
+    ) -> dict[SqliteShard, list[T]]:
+        """Partition *items* by their owning shard (for per-shard batch writes)."""
+        groups: dict[SqliteShard, list[T]] = {}
+        for item in items:
+            groups.setdefault(key(item), []).append(item)
+        return groups
+
+    def quarantined_paths(self) -> list[str]:
+        return [
+            shard.quarantined_path
+            for shard in self.shards
+            if shard.quarantined_path is not None
+        ]
+
+    def close(self) -> None:
+        for shard in self.shards:
+            try:
+                shard.close()
+            except Exception:  # noqa: BLE001 — close every shard regardless
+                pass
+
+
+__all__ = [
+    "READ_MMAP_BYTES",
+    "ShardedSqlite",
+    "SqliteShard",
+    "prepare_shard_meta",
+    "remove_orphan_shards",
+    "shard_index_for_digest",
+    "shard_index_for_hex",
+    "shard_path",
+]
